@@ -1,0 +1,563 @@
+package deepsecure
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (§4). Experiment outputs are attached as custom
+// benchmark metrics (gates, MB, seconds, folds) so `go test -bench` output
+// doubles as the reproduction record; EXPERIMENTS.md interprets the rows
+// against the paper's published numbers.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/core"
+	"deepsecure/internal/costmodel"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/gc"
+	"deepsecure/internal/hebaseline"
+	"deepsecure/internal/netgen"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/ot"
+	"deepsecure/internal/stdcell"
+	"deepsecure/internal/transport"
+)
+
+// BenchmarkTable3Components regenerates Table 3: gate counts of every DL
+// circuit component in the synthesis library.
+func BenchmarkTable3Components(b *testing.B) {
+	f := fixed.Default
+	kinds := []act.Kind{
+		act.TanhLUT, act.TanhTrunc, act.TanhPL, act.TanhCORDIC,
+		act.SigmoidLUT, act.SigmoidTrunc, act.SigmoidPLAN, act.SigmoidCORDIC,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var s circuit.Stats
+			for i := 0; i < b.N; i++ {
+				a := act.New(kind, f)
+				var err error
+				s, err = circuit.Count(func(cb *circuit.Builder) {
+					x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+					cb.Outputs(a.Circuit(cb, x)...)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.NonXOR()), "nonXOR")
+			b.ReportMetric(float64(s.FreeXOR()), "XOR")
+		})
+	}
+	for _, comp := range []struct {
+		name string
+		gen  func(cb *circuit.Builder)
+	}{
+		{"ADD", func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			y := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.Add(cb, x, y)...)
+		}},
+		{"MULT", func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			y := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.MulFixed(cb, x, y, f.FracBits)...)
+		}},
+		{"DIV", func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			y := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.DivFixed(cb, x, y, f.FracBits)...)
+		}},
+		{"ReLu", func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.ReLU(cb, x)...)
+		}},
+		{"Softmax10", func(cb *circuit.Builder) {
+			vals := make([]stdcell.Word, 10)
+			for i := range vals {
+				vals[i] = stdcell.Input(cb, circuit.Garbler, f.Bits())
+			}
+			cb.Outputs(stdcell.ArgMax(cb, vals)...)
+		}},
+	} {
+		comp := comp
+		b.Run(comp.name, func(b *testing.B) {
+			var s circuit.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				s, err = circuit.Count(comp.gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.NonXOR()), "nonXOR")
+			b.ReportMetric(float64(s.FreeXOR()), "XOR")
+		})
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: per-benchmark gate counts and the
+// cost-model execution estimate without pre-processing.
+func BenchmarkTable4(b *testing.B) {
+	co := costmodel.Paper()
+	for _, bench := range benchmarks.All {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			var est costmodel.Estimate
+			for i := 0; i < b.N; i++ {
+				net, err := bench.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, _, err := netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = costmodel.FromStats(s, co)
+			}
+			b.ReportMetric(float64(est.NonXOR), "nonXOR")
+			b.ReportMetric(est.CommMB, "commMB")
+			b.ReportMetric(est.ExecS, "execS")
+			b.ReportMetric(est.ExecS/bench.Paper.ExecS, "vsPaper")
+		})
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: the pre-processed variants and the
+// improvement folds.
+func BenchmarkTable5(b *testing.B) {
+	co := costmodel.Paper()
+	for _, bench := range benchmarks.All {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			var fold, execS float64
+			for i := 0; i < b.N; i++ {
+				net, err := bench.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				full, _, err := netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cNet, err := benchmarks.Compacted(bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				post, _, err := netgen.FastCount(cNet, benchmarks.Format, netgen.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eFull := costmodel.FromStats(full, co)
+				ePost := costmodel.FromStats(post, co)
+				fold = eFull.ExecS / ePost.ExecS
+				execS = ePost.ExecS
+			}
+			b.ReportMetric(execS, "execS")
+			b.ReportMetric(fold, "fold")
+			b.ReportMetric(bench.Paper.Improvement, "paperFold")
+		})
+	}
+}
+
+// BenchmarkTable6CryptoNets measures the HE baseline's constant per-batch
+// cost (scaled-down ring; see EXPERIMENTS.md for the N=8192 run).
+func BenchmarkTable6CryptoNets(b *testing.B) {
+	scheme, err := hebaseline.NewScheme(hebaseline.EvalParams(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batch float64
+	for i := 0; i < b.N; i++ {
+		costs, err := hebaseline.MeasureOpCosts(scheme, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch = hebaseline.BatchSeconds(hebaseline.Benchmark1Counts(), costs)
+	}
+	b.ReportMetric(batch, "batchS")
+	b.ReportMetric(float64(scheme.Slots()), "slots")
+}
+
+// BenchmarkTable6DeepSecureLive runs a real secure inference end-to-end
+// (a mid-size DNN so a bench iteration stays in seconds) and reports the
+// per-sample wall time and traffic that enter the Table 6 comparison.
+func BenchmarkTable6DeepSecureLive(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(128),
+		nn.NewDense(32),
+		nn.NewActivation(act.TanhCORDIC),
+		nn.NewDense(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(1)))
+	x := make([]float64, 128)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	b.ResetTimer()
+	var st *core.Stats
+	for i := 0; i < b.N; i++ {
+		cConn, sConn, closer := transport.Pipe()
+		srv := &core.Server{Net: net, Fmt: fixed.Default}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.Serve(sConn); err != nil {
+				b.Error(err)
+			}
+		}()
+		cli := &core.Client{}
+		_, st, err = cli.Infer(cConn, x)
+		wg.Wait()
+		closer.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(st.ANDGates), "ANDgates")
+	b.ReportMetric(float64(st.BytesSent)/1e6, "sentMB")
+	b.ReportMetric(st.Duration.Seconds(), "sessionS")
+}
+
+// BenchmarkFigure6Crossover computes the delay curves and break-even
+// points of Figure 6 from a quick HE measurement plus the GC cost model.
+func BenchmarkFigure6Crossover(b *testing.B) {
+	scheme, err := hebaseline.NewScheme(hebaseline.EvalParams(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs, err := hebaseline.MeasureOpCosts(scheme, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cnBatch := hebaseline.BatchSeconds(hebaseline.Benchmark1Counts(), costs)
+	slots := costs.Slots
+	co := costmodel.Paper()
+	b1, err := benchmarks.B1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, _, err := netgen.FastCount(b1, benchmarks.Format, netgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cNet, err := benchmarks.Compacted(benchmarks.All[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	post, _, err := netgen.FastCount(cNet, benchmarks.Format, netgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c1, c2 int
+	for i := 0; i < b.N; i++ {
+		c1 = costmodel.Crossover(costmodel.FromStats(full, co).ExecS, cnBatch, slots, 4*slots)
+		c2 = costmodel.Crossover(costmodel.FromStats(post, co).ExecS, cnBatch, slots, 4*slots)
+	}
+	b.ReportMetric(float64(c1), "crossNoPrep")
+	b.ReportMetric(float64(c2), "crossPrep")
+	b.ReportMetric(cnBatch, "cnBatchS")
+}
+
+// BenchmarkFigure5Pipeline demonstrates the §4.4/Fig. 5 overlap: the
+// pipelined protocol (garbling streams into evaluation) versus garbling
+// and evaluating strictly in sequence.
+func BenchmarkFigure5Pipeline(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(64),
+		nn.NewDense(24),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(5)))
+	g := circuit.NewGraph()
+	if _, err := netgen.Generate(circuit.NewBuilder(g), net, fixed.Default, netgen.Options{RawScores: true}); err != nil {
+		b.Fatal(err)
+	}
+	c := g.Circuit()
+
+	b.Run("engineOnly", func(b *testing.B) {
+		var garbleNs, evalNs int64
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(9))
+			gb, err := gc.NewGarbler(rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := gc.NewEvaluator()
+			lf, lt, _ := gb.ConstLabels()
+			ev.SetLabel(circuit.WFalse, lf)
+			ev.SetLabel(circuit.WTrue, lt)
+			for _, w := range c.GarblerInputs {
+				gb.AssignInput(w)
+				l, _ := gb.ActiveLabel(w, false)
+				ev.SetLabel(w, l)
+			}
+			for _, w := range c.EvaluatorInputs {
+				gb.AssignInput(w)
+				l, _ := gb.ActiveLabel(w, false)
+				ev.SetLabel(w, l)
+			}
+			// Phase 1: garble everything. Phase 2: evaluate everything.
+			var tables []byte
+			t0 := nowNs()
+			for _, gate := range c.Gates {
+				tables, err = gb.Garble(gate, tables)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			t1 := nowNs()
+			rest := tables
+			for _, gate := range c.Gates {
+				rest, err = ev.Eval(gate, rest)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			t2 := nowNs()
+			garbleNs += t1 - t0
+			evalNs += t2 - t1
+		}
+		b.ReportMetric(float64(garbleNs)/float64(b.N)/1e6, "garbleMs")
+		b.ReportMetric(float64(evalNs)/float64(b.N)/1e6, "evalMs")
+	})
+	// The full protocol overlaps the evaluator's work with the garbler's
+	// streaming (Fig. 5); its extra cost over engineOnly is OT + framing,
+	// while its two phases run concurrently instead of back to back.
+	b.Run("fullProtocolPipelined", func(b *testing.B) {
+		x := make([]float64, 64)
+		for i := 0; i < b.N; i++ {
+			cConn, sConn, closer := transport.Pipe()
+			srv := &core.Server{Net: net, Fmt: fixed.Default}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := srv.Serve(sConn); err != nil {
+					b.Error(err)
+				}
+			}()
+			cli := &core.Client{}
+			if _, _, err := cli.Infer(cConn, x); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+			closer.Close()
+		}
+	})
+}
+
+// BenchmarkCalibration regenerates the §4.3 characterization: per-gate
+// garble+evaluate cost and the implied gates/second.
+func BenchmarkCalibration(b *testing.B) {
+	var co costmodel.Coefficients
+	for i := 0; i < b.N; i++ {
+		var err error
+		co, err = costmodel.Calibrate(100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	xput, nput := costmodel.Throughput(co)
+	b.ReportMetric(co.XORNs, "XORns")
+	b.ReportMetric(co.NonXORNs, "nonXORns")
+	b.ReportMetric(xput/1e6, "MXORps")
+	b.ReportMetric(nput/1e6, "MnonXORps")
+}
+
+// BenchmarkOTExtension measures extended-OT throughput (the §3.1 step-ii
+// substrate that transfers every weight bit).
+func BenchmarkOTExtension(b *testing.B) {
+	const m = 4096
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]ot.Msg, m)
+	choices := make([]bool, m)
+	for i := range pairs {
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+		choices[i] = rng.Intn(2) == 1
+	}
+	a, c, closer := transport.Pipe()
+	defer closer.Close()
+	var snd *ot.ExtSender
+	var rcv *ot.ExtReceiver
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		snd, err = ot.NewExtSender(a, rand.New(rand.NewSource(8)))
+		if err != nil {
+			b.Error(err)
+		}
+	}()
+	var err error
+	rcv, err = ot.NewExtReceiver(c, rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := snd.Send(pairs); err != nil {
+				b.Error(err)
+			}
+		}()
+		if _, err := rcv.Receive(choices); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "OTs/s")
+}
+
+// BenchmarkHEPrimitives measures the HE baseline's primitive costs.
+func BenchmarkHEPrimitives(b *testing.B) {
+	scheme, err := hebaseline.NewScheme(hebaseline.EvalParams(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, pk := scheme.KeyGen()
+	vals := make([]int64, scheme.Slots())
+	pt, err := scheme.EncodeSlots(vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := scheme.Encrypt(pk, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Encrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheme.Encrypt(pk, pt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ScalarMAC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scheme.Add(ct, scheme.MulScalar(ct, 17))
+		}
+	})
+	b.Run("Square", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scheme.Mul(ct, ct)
+		}
+	})
+	b.Run("Decrypt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scheme.Decrypt(sk, ct)
+		}
+	})
+}
+
+// BenchmarkOutsourcingOverhead verifies §3.3's "almost free" claim: the
+// share-recombination layer adds XOR gates only.
+func BenchmarkOutsourcingOverhead(b *testing.B) {
+	net, err := benchmarks.B3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plain, outs circuit.Stats
+	for i := 0; i < b.N; i++ {
+		plain, _, err = netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs, _, err = netgen.FastCount(net, benchmarks.Format, netgen.Options{Outsourced: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(outs.NonXOR()-plain.NonXOR()), "extraNonXOR")
+	b.ReportMetric(float64(outs.XOR-plain.XOR), "extraXOR")
+}
+
+// BenchmarkAblationApproxMultiplier quantifies the truncated-multiplier
+// design alternative from DESIGN.md: non-XOR gates saved per MAC versus
+// worst-case error (the exact multiplier is used on the inference path).
+func BenchmarkAblationApproxMultiplier(b *testing.B) {
+	f := fixed.Default
+	var exact, approx circuit.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		exact, err = circuit.Count(func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			y := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.MulFixed(cb, x, y, f.FracBits)...)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		approx, err = circuit.Count(func(cb *circuit.Builder) {
+			x := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			y := stdcell.Input(cb, circuit.Garbler, f.Bits())
+			cb.Outputs(stdcell.MulFixedApprox(cb, x, y, f.FracBits, 4)...)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(exact.NonXOR()), "exactNonXOR")
+	b.ReportMetric(float64(approx.NonXOR()), "approxNonXOR")
+	b.ReportMetric(float64(exact.NonXOR()-approx.NonXOR()), "savedNonXOR")
+}
+
+// BenchmarkGarbleGates measures the raw garbler throughput on AND gates.
+func BenchmarkGarbleGates(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	g, err := gc.NewGarbler(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for w := uint32(2); w < 40; w++ {
+		if _, err := g.AssignInput(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tables []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gate := circuit.Gate{Op: circuit.AND, A: 2 + uint32(i%30), B: 3 + uint32(i%30), Out: 40 + uint32(i%1000)}
+		tables, err = g.Garble(gate, tables[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(gc.TableSize))
+}
+
+// BenchmarkFullB3GateCount times the streaming generation of benchmark 3's
+// complete netlist (26M+ gates), demonstrating the constant-memory path.
+func BenchmarkFullB3GateCount(b *testing.B) {
+	net, err := benchmarks.B3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s circuit.Stats
+	for i := 0; i < b.N; i++ {
+		s, _, err = netgen.Count(net, benchmarks.Format, netgen.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Total()), "gates")
+	b.ReportMetric(float64(s.MaxLive), "maxLiveWires")
+}
+
+func nowNs() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,326 @@
+// deepsecure-bench regenerates every table and figure of the paper's
+// evaluation section (§4) on this machine:
+//
+//	deepsecure-bench -table 3        circuit components (gates + error)
+//	deepsecure-bench -table 4        benchmarks 1-4 without pre-processing
+//	deepsecure-bench -table 5        benchmarks 1-4 with pre-processing
+//	deepsecure-bench -table 6        DeepSecure vs CryptoNets (benchmark 1)
+//	deepsecure-bench -figure 6       delay vs batch size + crossovers
+//	deepsecure-bench -calibrate      §4.3 per-gate cost characterization
+//	deepsecure-bench -live           real end-to-end GC run of benchmark 3
+//	deepsecure-bench -all            everything
+//
+// Each row prints this run's measurement next to the paper's published
+// number; EXPERIMENTS.md records a full comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"deepsecure"
+	"deepsecure/internal/act"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/cordic"
+	"deepsecure/internal/costmodel"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/hebaseline"
+	"deepsecure/internal/netgen"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/stdcell"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate Table 3|4|5|6")
+	figure := flag.Int("figure", 0, "regenerate Figure 6")
+	calibrate := flag.Bool("calibrate", false, "run the §4.3 per-gate calibration")
+	live := flag.Bool("live", false, "run a real end-to-end GC inference of benchmark 3")
+	all := flag.Bool("all", false, "run everything")
+	heN := flag.Int("hesize", 2048, "HE ring dimension for the CryptoNets measurements")
+	flag.Parse()
+
+	if *all {
+		*calibrate = true
+	}
+	co := costmodel.Paper()
+	if *calibrate || *all {
+		fmt.Println("== Calibration (§4.3) ==")
+		measured, err := costmodel.Calibrate(200000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xput, nput := costmodel.Throughput(measured)
+		fmt.Printf("this machine: XOR %.1f ns/gate, non-XOR %.1f ns/gate (%s)\n",
+			measured.XORNs, measured.NonXORNs, measured.Source)
+		fmt.Printf("throughput: %.2fM XOR/s, %.2fM non-XOR/s (paper: 5.11M / 2.56M)\n",
+			xput/1e6, nput/1e6)
+		co = measured
+		fmt.Println()
+	}
+
+	ran := false
+	if *table == 3 || *all {
+		runTable3()
+		ran = true
+	}
+	if *table == 4 || *all {
+		runTable45(co, false)
+		ran = true
+	}
+	if *table == 5 || *all {
+		runTable45(co, true)
+		ran = true
+	}
+	if *table == 6 || *figure == 6 || *all {
+		runTable6Figure6(co, *heN, *figure == 6 || *all)
+		ran = true
+	}
+	if *live || *all {
+		runLiveB3()
+		ran = true
+	}
+	if !ran && !*calibrate {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runTable3 prints the circuit-component table: gate counts from our
+// synthesis library plus the measured approximation error.
+func runTable3() {
+	fmt.Println("== Table 3: GC-optimized DL circuit components (16-bit Q3.12) ==")
+	fmt.Printf("%-16s %10s %10s %12s   %s\n", "Name", "#XOR", "#non-XOR", "MaxError", "paper #non-XOR")
+	f := fixed.Default
+
+	row := func(name string, gen func(b *circuit.Builder), errStr, paper string) {
+		s, err := circuit.Count(gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %10d %10d %12s   %s\n", name, s.FreeXOR(), s.NonXOR(), errStr, paper)
+	}
+	actRow := func(kind act.Kind, paper string) {
+		a := act.New(kind, f)
+		worst, _ := a.MaxError()
+		row(kind.String(), func(b *circuit.Builder) {
+			x := stdcell.Input(b, circuit.Garbler, f.Bits())
+			b.Outputs(a.Circuit(b, x)...)
+		}, fmt.Sprintf("%.2e", worst), paper)
+	}
+
+	actRow(act.TanhLUT, "149745")
+	actRow(act.TanhTrunc, "1746 (2.10.12)")
+	actRow(act.TanhPL, "206")
+	actRow(act.TanhCORDIC, "3900")
+	actRow(act.SigmoidLUT, "142523")
+	actRow(act.SigmoidTrunc, "2107 (3.10.12)")
+	actRow(act.SigmoidPLAN, "73")
+	actRow(act.SigmoidCORDIC, "3932")
+
+	bin := func(name string, op func(b *circuit.Builder, x, y stdcell.Word) stdcell.Word, paper string) {
+		row(name, func(b *circuit.Builder) {
+			x := stdcell.Input(b, circuit.Garbler, f.Bits())
+			y := stdcell.Input(b, circuit.Garbler, f.Bits())
+			b.Outputs(op(b, x, y)...)
+		}, "0", paper)
+	}
+	bin("ADD", func(b *circuit.Builder, x, y stdcell.Word) stdcell.Word { return stdcell.Add(b, x, y) }, "16")
+	bin("MULT", func(b *circuit.Builder, x, y stdcell.Word) stdcell.Word {
+		return stdcell.MulFixed(b, x, y, f.FracBits)
+	}, "212")
+	bin("DIV", func(b *circuit.Builder, x, y stdcell.Word) stdcell.Word {
+		return stdcell.DivFixed(b, x, y, f.FracBits)
+	}, "361")
+	row("ReLu", func(b *circuit.Builder) {
+		x := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(stdcell.ReLU(b, x)...)
+	}, "0", "15")
+	row("Softmax(n=10)", func(b *circuit.Builder) {
+		vals := make([]stdcell.Word, 10)
+		for i := range vals {
+			vals[i] = stdcell.Input(b, circuit.Garbler, f.Bits())
+		}
+		b.Outputs(stdcell.ArgMax(b, vals)...)
+	}, "0", "(n-1)*32 = 288")
+	row("MVM 1x8 * 8x4", func(b *circuit.Builder) {
+		x := make([]stdcell.Word, 8)
+		for i := range x {
+			x[i] = stdcell.Input(b, circuit.Garbler, f.Bits())
+		}
+		w := make([]stdcell.Word, 32)
+		for i := range w {
+			w[i] = stdcell.Input(b, circuit.Evaluator, f.Bits())
+		}
+		for _, o := range stdcell.MatVec(b, w, x, 4, 8, f.FracBits) {
+			b.Outputs(o...)
+		}
+	}, "0", "228mn-16n = 7232")
+	e := cordic.New(f)
+	fmt.Printf("(CORDIC schedule: %d iterations incl. range expansion)\n\n", e.Iterations())
+}
+
+// runTable45 prints the benchmark rows with or without pre-processing.
+func runTable45(co costmodel.Coefficients, compacted bool) {
+	if compacted {
+		fmt.Println("== Table 5: benchmarks WITH data + network pre-processing ==")
+	} else {
+		fmt.Println("== Table 4: benchmarks WITHOUT pre-processing ==")
+	}
+	fmt.Printf("%-12s %10s %10s %10s %9s %9s   %s\n",
+		"Name", "#XOR", "#non-XOR", "Comm(MB)", "Comp(s)", "Exec(s)", "paper exec")
+	for _, b := range benchmarks.All {
+		net, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		paperExec := b.Paper.ExecS
+		if compacted {
+			net, err = benchmarks.Compacted(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			paperExec = b.Paper.PostExecS
+		}
+		s, _, err := netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := costmodel.FromStats(s, co)
+		fmt.Printf("%-12s %10.3g %10.3g %10.1f %9.2f %9.2f   %.2f\n",
+			b.Name, float64(est.XOR), float64(est.NonXOR), est.CommMB, est.CompS, est.ExecS, paperExec)
+	}
+	if compacted {
+		fmt.Println("improvement folds (ours vs paper):")
+		for _, b := range benchmarks.All {
+			net, _ := b.Build()
+			full, _, err := netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cNet, _ := benchmarks.Compacted(b)
+			post, _, err := netgen.FastCount(cNet, benchmarks.Format, netgen.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fold := costmodel.FromStats(full, co).ExecS / costmodel.FromStats(post, co).ExecS
+			fmt.Printf("  %s: %.2fx (paper %.2fx)\n", b.Name, fold, b.Paper.Improvement)
+		}
+	}
+	fmt.Println()
+}
+
+// runTable6Figure6 measures the HE baseline and prints the comparison.
+func runTable6Figure6(co costmodel.Coefficients, heN int, withFigure bool) {
+	fmt.Println("== Table 6: DeepSecure vs CryptoNets (benchmark 1, per sample) ==")
+	b1 := benchmarks.All[0]
+	net, err := b1.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, _, err := netgen.FastCount(net, benchmarks.Format, netgen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cNet, err := benchmarks.Compacted(b1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post, _, err := netgen.FastCount(cNet, benchmarks.Format, netgen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsFull := costmodel.FromStats(full, co)
+	dsPost := costmodel.FromStats(post, co)
+
+	fmt.Printf("measuring CryptoNets-style HE ops at N=%d (this may take a minute)...\n", heN)
+	scheme, err := hebaseline.NewScheme(hebaseline.EvalParams(heN))
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs, err := hebaseline.MeasureOpCosts(scheme, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := hebaseline.Benchmark1Counts()
+	cnBatch := hebaseline.BatchSeconds(counts, costs)
+	slots := costs.Slots
+
+	fmt.Printf("%-28s %10s %10s %10s\n", "Framework", "Comm(MB)", "Comp(s)", "Exec(s)")
+	fmt.Printf("%-28s %10.1f %10.2f %10.2f   (paper: 791MB, 1.98s, 9.67s)\n",
+		"DeepSecure w/o pre-p", dsFull.CommMB, dsFull.CompS, dsFull.ExecS)
+	fmt.Printf("%-28s %10.1f %10.2f %10.2f   (paper: 88.2MB, 0.22s, 1.08s)\n",
+		"DeepSecure w/ pre-p", dsPost.CommMB, dsPost.CompS, dsPost.ExecS)
+	fmt.Printf("%-28s %10s %10.2f %10.2f   (paper: 570.11s; %d slots/batch)\n",
+		fmt.Sprintf("CryptoNets (N=%d)", slots), "small", cnBatch, cnBatch, slots)
+	fmt.Printf("per-sample improvement: %.1fx w/o pre-p, %.1fx w/ pre-p (paper: 58.96x / 527.88x)\n\n",
+		cnBatch/dsFull.ExecS, cnBatch/dsPost.ExecS)
+
+	if withFigure {
+		fmt.Println("== Figure 6: expected processing delay vs client batch size ==")
+		fmt.Printf("%8s %16s %16s %16s\n", "N", "DS w/o pre-p", "DS w/ pre-p", "CryptoNets")
+		for _, n := range []int{1, 10, 100, 288, 1000, 2590, 5000, slots, slots + 1, 2 * slots} {
+			fmt.Printf("%8d %16.1f %16.1f %16.1f\n", n,
+				costmodel.DelayDeepSecure(n, dsFull.ExecS),
+				costmodel.DelayDeepSecure(n, dsPost.ExecS),
+				costmodel.DelayCryptoNets(n, slots, cnBatch))
+		}
+		c1 := costmodel.Crossover(dsFull.ExecS, cnBatch, slots, 4*slots)
+		c2 := costmodel.Crossover(dsPost.ExecS, cnBatch, slots, 4*slots)
+		p := func(c int) string {
+			if c == math.MaxInt32 {
+				return "never (within scan)"
+			}
+			return fmt.Sprintf("%d", c)
+		}
+		fmt.Printf("crossover w/o pre-p: %s samples (paper marks 288)\n", p(c1))
+		fmt.Printf("crossover w/ pre-p:  %s samples (paper marks 2590)\n", p(c2))
+		fmt.Println()
+	}
+}
+
+// runLiveB3 executes benchmark 3 end-to-end through the real GC protocol.
+func runLiveB3() {
+	fmt.Println("== Live run: benchmark 3 through the full GC protocol ==")
+	net, err := nn.NewNetwork(nn.Vec(617),
+		nn.NewDense(50),
+		nn.NewActivation(act.TanhCORDIC),
+		nn.NewDense(26),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(3)))
+	x := make([]float64, 617)
+	rng := rand.New(rand.NewSource(4))
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+
+	cConn, sConn, closer := deepsecure.Pipe()
+	defer closer.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := deepsecure.Serve(sConn, net, deepsecure.DefaultFormat); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	start := time.Now()
+	label, st, err := deepsecure.Infer(cConn, x)
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := net.PredictFixed(deepsecure.DefaultFormat, x)
+	fmt.Printf("label %d (plaintext check %d), %v\n", label, want, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%d AND gates, %.1f MB sent (paper B3: 7.54e6 non-XOR, 241MB, 2.95s)\n\n",
+		st.ANDGates, float64(st.BytesSent)/1e6)
+}

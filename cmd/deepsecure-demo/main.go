@@ -1,0 +1,115 @@
+// deepsecure-demo runs the secure-inference protocol over real TCP, in
+// either role:
+//
+//	deepsecure-demo -role server -listen :9090 -model b3
+//	deepsecure-demo -role client -connect host:9090 -seed 7
+//
+// The server hosts a randomly initialized paper benchmark model (b1..b4
+// or "small"); the client sends one random sample and prints the label.
+// Use two terminals (or two machines) to watch the actual garbled-table
+// stream cross the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"deepsecure"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/nn"
+)
+
+func buildModel(name string) (*nn.Network, error) {
+	switch name {
+	case "b1":
+		return benchmarks.B1()
+	case "b2":
+		return benchmarks.B2()
+	case "b3":
+		return benchmarks.B3()
+	case "b4":
+		return benchmarks.B4()
+	case "small":
+		return nn.NewNetwork(nn.Vec(32),
+			deepsecure.NewDense(16),
+			deepsecure.NewActivation(deepsecure.TanhCORDIC),
+			deepsecure.NewDense(4),
+		)
+	default:
+		return nil, fmt.Errorf("unknown model %q (want b1|b2|b3|b4|small)", name)
+	}
+}
+
+func main() {
+	role := flag.String("role", "", "server | client")
+	listen := flag.String("listen", ":9090", "server listen address")
+	connect := flag.String("connect", "127.0.0.1:9090", "client target address")
+	model := flag.String("model", "small", "b1|b2|b3|b4|small")
+	seed := flag.Int64("seed", 1, "sample/weight seed")
+	flag.Parse()
+
+	switch *role {
+	case "server":
+		net0, err := buildModel(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net0.InitWeights(rand.New(rand.NewSource(*seed)))
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving model %s on %s", net0.Arch(), ln.Addr())
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				log.Fatal(err)
+			}
+			go func() {
+				defer conn.Close()
+				start := time.Now()
+				if err := deepsecure.Serve(deepsecure.NewConn(conn), net0, deepsecure.DefaultFormat); err != nil {
+					log.Printf("session from %s failed: %v", conn.RemoteAddr(), err)
+					return
+				}
+				log.Printf("session from %s done in %v", conn.RemoteAddr(), time.Since(start).Round(time.Millisecond))
+			}()
+		}
+
+	case "client":
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		// The sample dimension comes from the server's public spec; draw a
+		// generous random vector and truncate via the error path if the
+		// model is smaller. For the demo, size by model name.
+		m, err := buildModel(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		x := make([]float64, m.In.Len())
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		start := time.Now()
+		label, st, err := deepsecure.Infer(deepsecure.NewConn(conn), x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("label: %d\n", label)
+		fmt.Printf("%d AND gates, %.2f MB sent, %.2f MB received, %v\n",
+			st.ANDGates, float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
+			time.Since(start).Round(time.Millisecond))
+
+	default:
+		flag.Usage()
+		log.Fatal("need -role server or -role client")
+	}
+}

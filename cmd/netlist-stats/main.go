@@ -1,0 +1,148 @@
+// netlist-stats inspects the GC netlists this library synthesizes: it
+// prints gate statistics for a chosen component or benchmark model, and
+// can export a materialized netlist in the text format for inspection.
+//
+//	netlist-stats -component tanh-cordic
+//	netlist-stats -model b3
+//	netlist-stats -component mult -export mult.netlist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/netgen"
+	"deepsecure/internal/stdcell"
+)
+
+var components = map[string]func(b *circuit.Builder, f fixed.Format){
+	"add": func(b *circuit.Builder, f fixed.Format) {
+		x := stdcell.Input(b, circuit.Garbler, f.Bits())
+		y := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(stdcell.Add(b, x, y)...)
+	},
+	"mult": func(b *circuit.Builder, f fixed.Format) {
+		x := stdcell.Input(b, circuit.Garbler, f.Bits())
+		y := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(stdcell.MulFixed(b, x, y, f.FracBits)...)
+	},
+	"div": func(b *circuit.Builder, f fixed.Format) {
+		x := stdcell.Input(b, circuit.Garbler, f.Bits())
+		y := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(stdcell.DivFixed(b, x, y, f.FracBits)...)
+	},
+	"relu": func(b *circuit.Builder, f fixed.Format) {
+		x := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(stdcell.ReLU(b, x)...)
+	},
+}
+
+func init() {
+	for _, kind := range []act.Kind{
+		act.TanhLUT, act.TanhTrunc, act.TanhPL, act.TanhCORDIC,
+		act.SigmoidLUT, act.SigmoidTrunc, act.SigmoidPLAN, act.SigmoidCORDIC,
+	} {
+		kind := kind
+		components[kindFlag(kind)] = func(b *circuit.Builder, f fixed.Format) {
+			a := act.New(kind, f)
+			x := stdcell.Input(b, circuit.Garbler, f.Bits())
+			b.Outputs(a.Circuit(b, x)...)
+		}
+	}
+}
+
+func kindFlag(k act.Kind) string {
+	switch k {
+	case act.TanhLUT:
+		return "tanh-lut"
+	case act.TanhTrunc:
+		return "tanh-trunc"
+	case act.TanhPL:
+		return "tanh-pl"
+	case act.TanhCORDIC:
+		return "tanh-cordic"
+	case act.SigmoidLUT:
+		return "sigmoid-lut"
+	case act.SigmoidTrunc:
+		return "sigmoid-trunc"
+	case act.SigmoidPLAN:
+		return "sigmoid-plan"
+	case act.SigmoidCORDIC:
+		return "sigmoid-cordic"
+	}
+	return k.String()
+}
+
+func main() {
+	component := flag.String("component", "", "component name (add|mult|div|relu|tanh-*|sigmoid-*)")
+	model := flag.String("model", "", "benchmark model (b1|b2|b3|b4)")
+	export := flag.String("export", "", "write the materialized netlist to this file")
+	flag.Parse()
+	f := fixed.Default
+
+	switch {
+	case *component != "":
+		gen, ok := components[*component]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "known components:")
+			for name := range components {
+				fmt.Fprintln(os.Stderr, "  "+name)
+			}
+			os.Exit(2)
+		}
+		g := circuit.NewGraph()
+		b := circuit.NewBuilder(g)
+		gen(b, f)
+		if err := b.Err(); err != nil {
+			log.Fatal(err)
+		}
+		c := g.Circuit()
+		fmt.Printf("%s: %v\n", *component, c.Stats())
+		if *export != "" {
+			out, err := os.Create(*export)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer out.Close()
+			if err := circuit.WriteNetlist(out, c); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("netlist written to %s (%d gates)\n", *export, len(c.Gates))
+		}
+
+	case *model != "":
+		var bench *benchmarks.Benchmark
+		for i := range benchmarks.All {
+			if fmt.Sprintf("b%d", i+1) == *model {
+				bench = &benchmarks.All[i]
+			}
+		}
+		if bench == nil {
+			log.Fatalf("unknown model %q", *model)
+		}
+		net, err := bench.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, lay, err := netgen.FastCount(net, f, netgen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s)\n", bench.Name, net.Arch())
+		fmt.Printf("  %v\n", s)
+		fmt.Printf("  inputs: %d data bits (client), %d weight bits (server via OT)\n",
+			lay.DataBits, lay.WeightBits)
+		fmt.Printf("  output: %d label bits\n", lay.OutputBits)
+		fmt.Printf("  garbled tables: %.1f MB\n", float64(s.NonXOR())*32/1e6)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

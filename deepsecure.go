@@ -1,0 +1,171 @@
+// Package deepsecure is the public API of this DeepSecure reproduction
+// (Rouhani, Riazi, Koushanfar — "DeepSecure: Scalable Provably-Secure
+// Deep Learning", DAC 2018): privacy-preserving neural-network inference
+// with Yao's garbled circuits, where the client's data and the server's
+// model parameters both stay private and only the client learns the
+// inference label.
+//
+// The typical flow mirrors the paper's Fig. 2:
+//
+//	net, _ := deepsecure.NewNetwork(deepsecure.Vec(617),
+//	    deepsecure.NewDense(50),
+//	    deepsecure.NewActivation(deepsecure.TanhCORDIC),
+//	    deepsecure.NewDense(26))
+//	// ... train net, optionally project + prune ...
+//	clientConn, serverConn := deepsecure.Pipe()
+//	go deepsecure.Serve(serverConn, net, deepsecure.DefaultFormat)
+//	label, stats, _ := deepsecure.Infer(clientConn, sample)
+//
+// The heavy lifting lives in the internal packages (circuit, stdcell, gc,
+// ot, netgen, core, ...); this package re-exports the surface a
+// downstream user needs.
+package deepsecure
+
+import (
+	"io"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/core"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/netgen"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/project"
+	"deepsecure/internal/prune"
+	"deepsecure/internal/train"
+	"deepsecure/internal/transport"
+)
+
+// Re-exported model-building types and constructors.
+type (
+	// Network is a bound stack of DL layers (Table 1).
+	Network = nn.Network
+	// Shape is a (channels, height, width) tensor shape.
+	Shape = nn.Shape
+	// Layer is one network stage.
+	Layer = nn.Layer
+	// Format is the fixed-point encoding used inside the circuits.
+	Format = fixed.Format
+	// ActKind selects a non-linearity realization (Table 3).
+	ActKind = act.Kind
+	// Stats reports gate counts of a generated netlist.
+	Stats = circuit.Stats
+	// InferStats summarizes one secure inference.
+	InferStats = core.Stats
+	// TrainConfig controls SGD training.
+	TrainConfig = train.Config
+	// ProjectConfig controls the data-projection pre-processing (Alg. 1).
+	ProjectConfig = project.Config
+	// ProjectResult carries the fitted projection and retrained model.
+	ProjectResult = project.Result
+	// PruneReport summarizes a prune-and-retrain pass.
+	PruneReport = prune.Report
+	// Conn is the framed two-party channel the protocol runs over.
+	Conn = transport.Conn
+)
+
+// DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.
+var DefaultFormat = fixed.Default
+
+// Layer constructors.
+var (
+	NewNetwork    = nn.NewNetwork
+	NewDense      = nn.NewDense
+	NewConv2D     = nn.NewConv2D
+	NewActivation = nn.NewActivation
+	NewMaxPool2D  = nn.NewMaxPool2D
+	NewMeanPool2D = nn.NewMeanPool2D
+	Vec           = nn.Vec
+)
+
+// Activation realizations (Table 3).
+const (
+	ReLU          = act.ReLU
+	TanhLUT       = act.TanhLUT
+	TanhTrunc     = act.TanhTrunc
+	TanhPL        = act.TanhPL
+	TanhCORDIC    = act.TanhCORDIC
+	SigmoidLUT    = act.SigmoidLUT
+	SigmoidTrunc  = act.SigmoidTrunc
+	SigmoidPLAN   = act.SigmoidPLAN
+	SigmoidCORDIC = act.SigmoidCORDIC
+)
+
+// Pipe returns two connected in-memory protocol channels (client end,
+// server end) plus a closer.
+func Pipe() (*Conn, *Conn, io.Closer) { return transport.Pipe() }
+
+// NewConn wraps any reliable byte stream (e.g. a *net.TCPConn) as a
+// protocol channel.
+func NewConn(rw io.ReadWriter) *Conn { return transport.New(rw) }
+
+// Serve answers one secure-inference request on conn with the private
+// model (the cloud-server role, Fig. 3). The client learns only the
+// label; the server learns nothing about the data or the result.
+func Serve(conn *Conn, net *Network, f Format) error {
+	s := &core.Server{Net: net, Fmt: f}
+	return s.Serve(conn)
+}
+
+// Infer runs one secure inference against a server (the client role) and
+// returns the inference label.
+func Infer(conn *Conn, x []float64) (int, *InferStats, error) {
+	c := &core.Client{}
+	return c.Infer(conn, x)
+}
+
+// ServeOutsourced and friends expose the §3.3 constrained-client mode.
+func ServeOutsourced(proxyConn, clientConn *Conn, net *Network, f Format) error {
+	s := &core.Server{Net: net, Fmt: f}
+	return s.ServeOutsourced(proxyConn, clientConn)
+}
+
+// RunProxy garbles on behalf of a constrained client (§3.3).
+func RunProxy(clientConn, serverConn *Conn) error {
+	p := &core.Proxy{}
+	return p.Run(clientConn, serverConn)
+}
+
+// InferOutsourced is the constrained-client side: XOR-share the input
+// between proxy and server, receive the two decode halves back.
+func InferOutsourced(proxyConn, serverConn *Conn, x []float64) (int, *InferStats, error) {
+	c := &core.Client{}
+	return c.InferOutsourced(proxyConn, serverConn, x)
+}
+
+// Train fits the network with SGD (cross-entropy loss).
+func Train(net *Network, xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+	return train.Run(net, xs, ys, cfg)
+}
+
+// DefaultTrainConfig returns a small-scale training configuration.
+func DefaultTrainConfig() TrainConfig { return train.DefaultConfig() }
+
+// Accuracy returns classification accuracy of the float forward pass.
+func Accuracy(net *Network, xs [][]float64, ys []int) float64 {
+	return train.Accuracy(net, xs, ys)
+}
+
+// ProjectFit runs the data-projection pre-processing (Alg. 1): it returns
+// the public projection basis and the model retrained on embeddings.
+func ProjectFit(trainX [][]float64, trainY []int, valX [][]float64, valY []int,
+	cfg ProjectConfig, factory func(inputDim int) (*Network, error)) (*ProjectResult, error) {
+	return project.Fit(trainX, trainY, valX, valY, cfg, factory)
+}
+
+// DefaultProjectConfig returns the harness settings for Alg. 1.
+func DefaultProjectConfig() ProjectConfig { return project.DefaultConfig() }
+
+// Prune applies magnitude pruning followed by retraining (§3.2.2),
+// leaving the public sparsity map installed on the network.
+func Prune(net *Network, fraction float64, trainX [][]float64, trainY []int,
+	valX [][]float64, valY []int, cfg TrainConfig) (*PruneReport, error) {
+	return prune.Run(net, fraction, trainX, trainY, valX, valY, cfg)
+}
+
+// NetlistStats counts the gates of the model's secure-inference netlist
+// without executing anything (Table 2's inputs).
+func NetlistStats(net *Network, f Format) (Stats, error) {
+	s, _, err := netgen.FastCount(net, f, netgen.Options{})
+	return s, err
+}

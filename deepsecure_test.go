@@ -1,0 +1,111 @@
+package deepsecure
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deepsecure/internal/datasets"
+)
+
+// TestPublicAPIRoundTrip exercises the whole facade the way the README's
+// quickstart does: build, train, prune, and run a secure inference.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	set, err := datasets.Generate(datasets.Config{
+		Name: "api", Dim: 10, Classes: 3, Rank: 4, Noise: 0.05,
+		Train: 200, Test: 60, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(Vec(10),
+		NewDense(8),
+		NewActivation(TanhPL),
+		NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(2)))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	if _, err := Train(net, set.TrainX, set.TrainY, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(net, set.TestX, set.TestY); acc < 0.7 {
+		t.Fatalf("facade training failed: accuracy %.2f", acc)
+	}
+
+	rep, err := Prune(net, 0.4, set.TrainX, set.TrainY, set.TestX, set.TestY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DensityAfter >= rep.DensityBefore {
+		t.Fatalf("prune did not reduce density: %+v", rep)
+	}
+
+	stats, err := NetlistStats(net, DefaultFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NonXOR() == 0 {
+		t.Fatal("netlist stats empty")
+	}
+
+	cConn, sConn, closer := Pipe()
+	defer closer.Close()
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srvErr = Serve(sConn, net, DefaultFormat)
+	}()
+	x := set.TestX[0]
+	label, st, err := Infer(cConn, x)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("serve: %v", srvErr)
+	}
+	if err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	if want := net.PredictFixed(DefaultFormat, x); label != want {
+		t.Fatalf("secure label %d, plaintext %d", label, want)
+	}
+	if st.BytesSent == 0 || st.Duration <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestProjectFacade(t *testing.T) {
+	set, err := datasets.Generate(datasets.Config{
+		Name: "api-proj", Dim: 32, Classes: 3, Rank: 6, Noise: 0.04,
+		Train: 300, Test: 80, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultProjectConfig()
+	cfg.Retrain.Epochs = 4
+	res, err := ProjectFit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg,
+		func(in int) (*Network, error) {
+			net, err := NewNetwork(Vec(in), NewDense(10), NewActivation(ReLU), NewDense(3))
+			if err != nil {
+				return nil, err
+			}
+			net.InitWeights(rand.New(rand.NewSource(4)))
+			return net, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Atoms >= 32 {
+		t.Errorf("no compression: %d atoms", res.Atoms)
+	}
+	// The projected pipeline must still classify.
+	emb := res.EmbedAll(set.TestX)
+	if acc := Accuracy(res.Net, emb, set.TestY); acc < 0.7 {
+		t.Errorf("projected accuracy %.2f", acc)
+	}
+}

@@ -1,0 +1,113 @@
+// Benchmark-1-style CNN example (§4.5.1): a convolutional model on
+// MNIST-like 28x28 synthetic images. The full benchmark-1 netlist
+// (~2.5e7 non-XOR gates) is counted and costed; the live garbled
+// execution runs on a reduced 14x14 variant so the example finishes in
+// seconds (the full-scale live run is available in the bench harness).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"deepsecure"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/costmodel"
+	"deepsecure/internal/datasets"
+	"deepsecure/internal/netgen"
+)
+
+func main() {
+	// Full benchmark-1 architecture: count + cost model (Table 4 row 1).
+	b1, err := benchmarks.B1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, _, err := netgen.FastCount(b1, deepsecure.DefaultFormat, netgen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := costmodel.FromStats(stats, costmodel.Paper())
+	fmt.Printf("benchmark 1 (%s):\n  %s\n  paper row: #XOR=4.31e7 #non-XOR=2.47e7 Comm=791MB Comp=1.98s Exec=9.67s\n",
+		b1.Arch(), est)
+
+	// Live run on a reduced CNN.
+	cfg := datasets.MNISTLike(3)
+	cfg.Dim = 14 * 14
+	cfg.Train, cfg.Test = 400, 100
+	set, err := datasets.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := deepsecure.NewNetwork(deepsecure.Shape{C: 1, H: 14, W: 14},
+		deepsecure.NewConv2D(3, 5, 2, 1),
+		deepsecure.NewActivation(deepsecure.ReLU),
+		deepsecure.NewDense(32),
+		deepsecure.NewActivation(deepsecure.ReLU),
+		deepsecure.NewDense(10),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(11)))
+	tcfg := deepsecure.DefaultTrainConfig()
+	tcfg.Epochs = 8
+	tcfg.LR = 0.03
+	tcfg.WeightDecay = 0.02
+	if _, err := deepsecure.Train(net, set.TrainX, set.TrainY, tcfg); err != nil {
+		log.Fatal(err)
+	}
+	net.CalibrateOutput(set.TrainX, 6) // keep logits inside Q3.12
+	fixedHits := 0
+	for i, x := range set.TestX {
+		if net.PredictFixed(deepsecure.DefaultFormat, x) == set.TestY[i] {
+			fixedHits++
+		}
+	}
+	fmt.Printf("\nlive model %s: float accuracy %.1f%%, fixed %.1f%%\n",
+		net.Arch(), 100*deepsecure.Accuracy(net, set.TestX, set.TestY),
+		100*float64(fixedHits)/float64(len(set.TestX)))
+
+	clientConn, serverConn, closer := deepsecure.Pipe()
+	defer closer.Close()
+	go func() {
+		if err := deepsecure.Serve(serverConn, net, deepsecure.DefaultFormat); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	start := time.Now()
+	hits := 0
+	const n = 3
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			// One session per sample: fresh pipe.
+			c2, s2, cl2 := deepsecure.Pipe()
+			go func() {
+				if err := deepsecure.Serve(s2, net, deepsecure.DefaultFormat); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			label, _, err := deepsecure.Infer(c2, set.TestX[i])
+			cl2.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if label == set.TestY[i] {
+				hits++
+			}
+			continue
+		}
+		label, st, err := deepsecure.Infer(clientConn, set.TestX[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if label == set.TestY[i] {
+			hits++
+		}
+		fmt.Printf("sample %d: secure label %d (true %d), %d AND gates, %.1f MB\n",
+			i, label, set.TestY[i], st.ANDGates, float64(st.BytesSent)/1e6)
+	}
+	fmt.Printf("%d/%d secure inferences correct, %.2fs/sample\n",
+		hits, n, time.Since(start).Seconds()/float64(n))
+}

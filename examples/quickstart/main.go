@@ -1,0 +1,72 @@
+// Quickstart: train a tiny model on synthetic data, then classify a
+// sample with DeepSecure so that the "client" never reveals the sample
+// and the "server" never reveals the weights.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"deepsecure"
+	"deepsecure/internal/datasets"
+)
+
+func main() {
+	// Synthetic 3-class dataset (the environment is offline; see
+	// DESIGN.md substitution #2).
+	set, err := datasets.Generate(datasets.Config{
+		Name: "quickstart", Dim: 16, Classes: 3, Rank: 5, Noise: 0.05,
+		Train: 400, Test: 100, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small DNN with the paper's CORDIC tanh non-linearity.
+	net, err := deepsecure.NewNetwork(deepsecure.Vec(16),
+		deepsecure.NewDense(12),
+		deepsecure.NewActivation(deepsecure.TanhCORDIC),
+		deepsecure.NewDense(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(1)))
+
+	cfg := deepsecure.DefaultTrainConfig()
+	cfg.Epochs = 12
+	if _, err := deepsecure.Train(net, set.TrainX, set.TrainY, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s  test accuracy: %.1f%%\n",
+		net.Arch(), 100*deepsecure.Accuracy(net, set.TestX, set.TestY))
+
+	stats, err := deepsecure.NetlistStats(net, deepsecure.DefaultFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("netlist: %d XOR (free), %d non-XOR (2x128 bits each)\n",
+		stats.FreeXOR(), stats.NonXOR())
+
+	// Client and server connected by an in-memory pipe; swap in a TCP
+	// connection for the distributed deployment (see cmd/deepsecure-demo).
+	clientConn, serverConn, closer := deepsecure.Pipe()
+	defer closer.Close()
+	go func() {
+		if err := deepsecure.Serve(serverConn, net, deepsecure.DefaultFormat); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	x := set.TestX[0]
+	label, st, err := deepsecure.Infer(clientConn, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("secure inference label: %d (true %d)\n", label, set.TestY[0])
+	fmt.Printf("  %d AND gates garbled, %.2f MB sent, %.2f MB received, %v\n",
+		st.ANDGates,
+		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6, st.Duration)
+	fmt.Printf("  plaintext check: %d\n", net.PredictFixed(deepsecure.DefaultFormat, x))
+}

@@ -1,0 +1,199 @@
+// Package circuit implements the Boolean-netlist substrate of DeepSecure.
+//
+// A netlist is a topologically ordered list of 2-input gates over a wire
+// namespace (paper §2.2.2). Following the Free-XOR cost model (§2.3), the
+// gate set is restricted to XOR, AND, and INV: XOR and INV are free to
+// garble, AND costs two 128-bit ciphertexts (half-gates). Richer gates
+// (OR, NAND, XNOR, MUX, ...) are lowered by the Builder.
+//
+// Wire ids 0 and 1 are reserved for the constants false and true. The
+// Builder performs constant folding, so emitted gates never have constant
+// operands; the reserved wires can still appear as circuit outputs.
+//
+// Three backends consume netlists:
+//   - Graph: materializes a *Circuit for plaintext evaluation and analysis,
+//   - Counter: gate statistics only (for paper-scale circuits),
+//   - any custom Sink (the GC garbler/evaluator stream gates this way,
+//     which is what gives DeepSecure its constant memory footprint, §3.5).
+package circuit
+
+import "fmt"
+
+// Op is a gate operation.
+type Op uint8
+
+// Gate operations. INV is unary (B is ignored).
+const (
+	XOR Op = iota
+	AND
+	INV
+)
+
+// String returns the conventional netlist mnemonic for the op.
+func (o Op) String() string {
+	switch o {
+	case XOR:
+		return "XOR"
+	case AND:
+		return "AND"
+	case INV:
+		return "INV"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Reserved constant wires.
+const (
+	WFalse uint32 = 0
+	WTrue  uint32 = 1
+)
+
+// Party identifies which protocol party owns an input wire.
+type Party uint8
+
+// The two GC parties. In DeepSecure the client (data owner) garbles and
+// the server (model owner) evaluates (§3.1).
+const (
+	Garbler   Party = iota // client / Alice
+	Evaluator              // server / Bob
+)
+
+// String names the party.
+func (p Party) String() string {
+	if p == Garbler {
+		return "garbler"
+	}
+	return "evaluator"
+}
+
+// Gate is one netlist entry. Out is always a freshly allocated (or
+// recycled) wire; A and B are already-defined wires. For INV, B is unused.
+type Gate struct {
+	Op   Op
+	A, B uint32
+	Out  uint32
+}
+
+// Stats aggregates gate counts for a netlist. XOR and INV gates are free
+// under Free-XOR; AND gates are the non-XOR population that determines
+// both communication and most of the computation (Table 2).
+type Stats struct {
+	XOR int64
+	AND int64
+	INV int64
+
+	GarblerInputs   int64
+	EvaluatorInputs int64
+	Outputs         int64
+	MaxLive         int64 // peak number of live wires seen (streaming)
+}
+
+// NonXOR returns the number of gates that need garbled tables.
+func (s Stats) NonXOR() int64 { return s.AND }
+
+// FreeXOR returns the number of gates that garble for free (XOR + INV).
+func (s Stats) FreeXOR() int64 { return s.XOR + s.INV }
+
+// Total returns the total gate count.
+func (s Stats) Total() int64 { return s.XOR + s.AND + s.INV }
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.XOR += o.XOR
+	s.AND += o.AND
+	s.INV += o.INV
+	s.GarblerInputs += o.GarblerInputs
+	s.EvaluatorInputs += o.EvaluatorInputs
+	s.Outputs += o.Outputs
+	if o.MaxLive > s.MaxLive {
+		s.MaxLive = o.MaxLive
+	}
+}
+
+// String renders the stats in the Table 3/4 style.
+func (s Stats) String() string {
+	return fmt.Sprintf("#XOR=%d #non-XOR=%d (#INV=%d, in_g=%d, in_e=%d, out=%d)",
+		s.XOR, s.AND, s.INV, s.GarblerInputs, s.EvaluatorInputs, s.Outputs)
+}
+
+// Sink consumes netlist events in generation order. Implementations must
+// tolerate OnDrop for wires they never stored (it is advisory).
+type Sink interface {
+	// OnInputs is called when a batch of input wires owned by party is
+	// declared. Wires in a batch are fresh and contiguous in declaration
+	// order (not necessarily in id order when recycling is enabled).
+	OnInputs(party Party, wires []uint32) error
+	// OnGate is called once per gate in topological order.
+	OnGate(g Gate) error
+	// OnOutputs is called when wires are marked as circuit outputs.
+	OnOutputs(wires []uint32) error
+	// OnDrop signals that a wire's value is dead and its storage may be
+	// reclaimed. The wire id may later be recycled for a new gate output.
+	OnDrop(w uint32) error
+}
+
+// Circuit is a materialized netlist (Graph backend output).
+type Circuit struct {
+	NWires          uint32
+	GarblerInputs   []uint32
+	EvaluatorInputs []uint32
+	Outputs         []uint32
+	Gates           []Gate
+}
+
+// Stats computes gate statistics for the materialized circuit.
+func (c *Circuit) Stats() Stats {
+	var s Stats
+	for _, g := range c.Gates {
+		switch g.Op {
+		case XOR:
+			s.XOR++
+		case AND:
+			s.AND++
+		case INV:
+			s.INV++
+		}
+	}
+	s.GarblerInputs = int64(len(c.GarblerInputs))
+	s.EvaluatorInputs = int64(len(c.EvaluatorInputs))
+	s.Outputs = int64(len(c.Outputs))
+	return s
+}
+
+// Eval runs the circuit on plaintext bits: garbler inputs bound in
+// declaration order, then evaluator inputs. It returns output bits in
+// output-declaration order.
+func (c *Circuit) Eval(garblerBits, evaluatorBits []bool) ([]bool, error) {
+	if len(garblerBits) != len(c.GarblerInputs) {
+		return nil, fmt.Errorf("circuit: got %d garbler bits, want %d", len(garblerBits), len(c.GarblerInputs))
+	}
+	if len(evaluatorBits) != len(c.EvaluatorInputs) {
+		return nil, fmt.Errorf("circuit: got %d evaluator bits, want %d", len(evaluatorBits), len(c.EvaluatorInputs))
+	}
+	vals := make([]bool, c.NWires)
+	vals[WTrue] = true
+	for i, w := range c.GarblerInputs {
+		vals[w] = garblerBits[i]
+	}
+	for i, w := range c.EvaluatorInputs {
+		vals[w] = evaluatorBits[i]
+	}
+	for _, g := range c.Gates {
+		switch g.Op {
+		case XOR:
+			vals[g.Out] = vals[g.A] != vals[g.B]
+		case AND:
+			vals[g.Out] = vals[g.A] && vals[g.B]
+		case INV:
+			vals[g.Out] = !vals[g.A]
+		default:
+			return nil, fmt.Errorf("circuit: unknown op %v", g.Op)
+		}
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}

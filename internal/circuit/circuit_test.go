@@ -1,0 +1,341 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := Build(func(b *Builder) {
+		g := b.Inputs(Garbler, 2)
+		e := b.Inputs(Evaluator, 1)
+		x := b.XOR(g[0], g[1])
+		y := b.AND(x, e[0])
+		z := b.INV(y)
+		b.Outputs(y, z)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEvalTruthTable(t *testing.T) {
+	c := buildSmall(t)
+	for a := 0; a < 2; a++ {
+		for bb := 0; bb < 2; bb++ {
+			for e := 0; e < 2; e++ {
+				got, err := c.Eval([]bool{a == 1, bb == 1}, []bool{e == 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := (a != bb) && e == 1
+				if got[0] != want || got[1] != !want {
+					t.Errorf("eval(%d,%d,%d) = %v, want [%v %v]", a, bb, e, got, want, !want)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalInputLengthErrors(t *testing.T) {
+	c := buildSmall(t)
+	if _, err := c.Eval([]bool{true}, []bool{true}); err == nil {
+		t.Error("short garbler inputs should error")
+	}
+	if _, err := c.Eval([]bool{true, false}, nil); err == nil {
+		t.Error("short evaluator inputs should error")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		in := b.Inputs(Garbler, 1)
+		w := in[0]
+		// All of these must fold without emitting gates.
+		if got := b.XOR(w, b.Const(false)); got != w {
+			t.Errorf("XOR(w,0) = %d, want %d", got, w)
+		}
+		if got := b.AND(w, b.Const(true)); got != w {
+			t.Errorf("AND(w,1) = %d, want %d", got, w)
+		}
+		if got := b.AND(w, b.Const(false)); got != WFalse {
+			t.Errorf("AND(w,0) = %d, want const false", got)
+		}
+		if got := b.XOR(w, w); got != WFalse {
+			t.Errorf("XOR(w,w) = %d, want const false", got)
+		}
+		if got := b.AND(w, w); got != w {
+			t.Errorf("AND(w,w) = %d, want %d", got, w)
+		}
+		if got := b.INV(b.Const(false)); got != WTrue {
+			t.Errorf("INV(0) = %d", got)
+		}
+		b.Outputs(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Gates); n != 0 {
+		t.Errorf("folding failed: %d gates emitted", n)
+	}
+}
+
+func TestXORWithTrueBecomesINV(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		in := b.Inputs(Garbler, 1)
+		b.Outputs(b.XOR(in[0], b.Const(true)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Op != INV {
+		t.Errorf("XOR(w,1) should lower to one INV, got %v", c.Gates)
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		in := b.Inputs(Garbler, 2)
+		x1 := b.AND(in[0], in[1])
+		x2 := b.AND(in[1], in[0]) // commuted: must share
+		if x1 != x2 {
+			t.Errorf("consing failed: %d vs %d", x1, x2)
+		}
+		inv1 := b.INV(x1)
+		back := b.INV(inv1) // INV(INV(x)) = x
+		if back != x1 {
+			t.Errorf("double inversion not eliminated: %d vs %d", back, x1)
+		}
+		b.Outputs(inv1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.AND != 1 || s.INV != 1 {
+		t.Errorf("stats = %v, want 1 AND and 1 INV", s)
+	}
+}
+
+func TestDerivedGates(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		in := b.Inputs(Garbler, 3)
+		a, bb, s := in[0], in[1], in[2]
+		b.Outputs(
+			b.OR(a, bb),
+			b.NAND(a, bb),
+			b.NOR(a, bb),
+			b.XNOR(a, bb),
+			b.MUX(s, a, bb),
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for bb := 0; bb < 2; bb++ {
+			for s := 0; s < 2; s++ {
+				av, bv, sv := a == 1, bb == 1, s == 1
+				got, err := c.Eval([]bool{av, bv, sv}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := []bool{
+					av || bv,
+					!(av && bv),
+					!(av || bv),
+					av == bv,
+					(sv && av) || (!sv && bv),
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("derived gate %d wrong for (%v,%v,%v): got %v want %v", i, av, bv, sv, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMUXCostsOneAND(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		in := b.Inputs(Garbler, 3)
+		b.Outputs(b.MUX(in[2], in[0], in[1]))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.AND != 1 {
+		t.Errorf("MUX AND count = %d, want 1", s.AND)
+	}
+}
+
+func TestRecyclingReusesWireIDs(t *testing.T) {
+	b := NewBuilder(Counter{}, WithRecycling())
+	in := b.Inputs(Garbler, 2)
+	w1 := b.XOR(in[0], in[1])
+	w1id := w1
+	b.Drop(w1)
+	w2 := b.AND(in[0], in[1])
+	if w2 != w1id {
+		t.Errorf("recycling: new gate got wire %d, want recycled %d", w2, w1id)
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	s := b.Stats()
+	if s.XOR != 1 || s.AND != 1 {
+		t.Errorf("stats = %v", s)
+	}
+}
+
+func TestMaxLiveTracking(t *testing.T) {
+	b := NewBuilder(Counter{}, WithRecycling())
+	in := b.Inputs(Garbler, 4)
+	// Chain that drops as it goes: live should stay bounded.
+	acc := b.XOR(in[0], in[1])
+	for i := 0; i < 100; i++ {
+		nxt := b.AND(acc, in[2])
+		b.Drop(acc)
+		acc = nxt
+	}
+	s := b.Stats()
+	if s.MaxLive > 7 {
+		t.Errorf("MaxLive = %d, want small bounded value", s.MaxLive)
+	}
+}
+
+func TestSharingAndRecyclingExclusive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic combining WithSharing and WithRecycling")
+		}
+	}()
+	NewBuilder(Counter{}, WithSharing(), WithRecycling())
+}
+
+func TestCountMatchesBuild(t *testing.T) {
+	gen := func(b *Builder) {
+		g := b.Inputs(Garbler, 8)
+		acc := g[0]
+		for i := 1; i < 8; i++ {
+			acc = b.AND(acc, b.XOR(g[i], g[i-1]))
+		}
+		b.Outputs(acc)
+	}
+	c, err := Build(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := c.Stats()
+	ks, err := Count(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.XOR != ks.XOR || cs.AND != ks.AND {
+		t.Errorf("count mismatch: build %v vs count %v", cs, ks)
+	}
+}
+
+func TestNetlistRoundTrip(t *testing.T) {
+	c := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadNetlist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Gates) != len(c.Gates) || c2.NWires != c.NWires {
+		t.Fatalf("round trip mismatch: %d gates vs %d", len(c2.Gates), len(c.Gates))
+	}
+	check := func(a, bb, e bool) bool {
+		o1, err1 := c.Eval([]bool{a, bb}, []bool{e})
+		o2, err2 := c2.Eval([]bool{a, bb}, []bool{e})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return o1[0] == o2[0] && o1[1] == o2[1]
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetlistTruncatedFails(t *testing.T) {
+	c := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	trunc := strings.TrimSuffix(text, "end\n")
+	if _, err := ReadNetlist(strings.NewReader(trunc)); err == nil {
+		t.Error("truncated netlist should fail to parse")
+	}
+}
+
+func TestNetlistBadInputs(t *testing.T) {
+	cases := []string{
+		"",
+		"deepsecure-netlist v2\nend\n",
+		"deepsecure-netlist v1\ngate FOO 1 2 3\nend\n",
+		"deepsecure-netlist v1\ngate XOR 1 2\nend\n",
+		"deepsecure-netlist v1\nbogus 1 2\nend\n",
+		"deepsecure-netlist v1\ngate XOR x y z\nend\n",
+	}
+	for i, s := range cases {
+		if _, err := ReadNetlist(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", i, s)
+		}
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{XOR: 1, AND: 2, INV: 3, MaxLive: 10}
+	b := Stats{XOR: 10, AND: 20, INV: 30, MaxLive: 5}
+	a.Add(b)
+	if a.XOR != 11 || a.AND != 22 || a.INV != 33 || a.MaxLive != 10 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.NonXOR() != 22 || a.FreeXOR() != 44 || a.Total() != 66 {
+		t.Errorf("derived stats wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "#non-XOR=22") {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if XOR.String() != "XOR" || AND.String() != "AND" || INV.String() != "INV" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should still render")
+	}
+	if Garbler.String() != "garbler" || Evaluator.String() != "evaluator" {
+		t.Error("party names wrong")
+	}
+}
+
+func TestOutputsCanBeConstants(t *testing.T) {
+	c, err := Build(func(b *Builder) {
+		b.Inputs(Garbler, 1)
+		b.Outputs(b.Const(true), b.Const(false))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Eval([]bool{false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0] || got[1] {
+		t.Errorf("constant outputs = %v, want [true false]", got)
+	}
+}

@@ -1,0 +1,162 @@
+package cordic
+
+import (
+	"math"
+	"testing"
+
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/stdcell"
+)
+
+func TestTanhAccuracy(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	worst := 0.0
+	for x := -7.99; x <= 7.99; x += 0.037 {
+		in := f.FromFloat(x)
+		got := e.Tanh(in).Float()
+		want := math.Tanh(in.Float())
+		if err := math.Abs(got - want); err > worst {
+			worst = err
+		}
+	}
+	// 12 fractional bits + ~20 stages: a few ULP of accumulated error.
+	if worst > 0.004 {
+		t.Errorf("tanh worst error = %g, want < 0.004", worst)
+	}
+}
+
+func TestSigmoidAccuracy(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	worst := 0.0
+	for x := -7.99; x <= 7.99; x += 0.041 {
+		in := f.FromFloat(x)
+		got := e.Sigmoid(in).Float()
+		want := 1.0 / (1.0 + math.Exp(-in.Float()))
+		if err := math.Abs(got - want); err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.004 {
+		t.Errorf("sigmoid worst error = %g, want < 0.004", worst)
+	}
+}
+
+func TestRotateMatchesMathSinhCosh(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	for _, x := range []float64{0, 0.5, -0.5, 1, -1, 2.5, -2.5, 5, -5, 7.5, -7.5} {
+		in := f.FromFloat(x)
+		cr, sr := e.Rotate(in)
+		gotCosh := e.Internal.FromRaw(cr).Float()
+		gotSinh := e.Internal.FromRaw(sr).Float()
+		wantCosh := math.Cosh(in.Float())
+		wantSinh := math.Sinh(in.Float())
+		// Relative tolerance: large magnitudes carry absolute error.
+		tol := 0.002 * (1 + math.Abs(wantCosh))
+		if math.Abs(gotCosh-wantCosh) > tol {
+			t.Errorf("cosh(%g) = %g, want %g", x, gotCosh, wantCosh)
+		}
+		if math.Abs(gotSinh-wantSinh) > tol {
+			t.Errorf("sinh(%g) = %g, want %g", x, gotSinh, wantSinh)
+		}
+	}
+}
+
+func TestCircuitBitExactWithSoftware(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	tanhC, err := circuit.Build(func(b *circuit.Builder) {
+		z := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(e.TanhCircuit(b, z)...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigC, err := circuit.Build(func(b *circuit.Builder) {
+		z := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(e.SigmoidCircuit(b, z)...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -7.9; x <= 7.9; x += 0.61 {
+		in := f.FromFloat(x)
+		out, err := tanhC.Eval(in.Bits(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := f.FromBits(out)
+		if want := e.Tanh(in); got.Raw() != want.Raw() {
+			t.Errorf("tanh circuit(%g) = %d, software %d", x, got.Raw(), want.Raw())
+		}
+		out, err = sigC.Eval(in.Bits(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ = f.FromBits(out)
+		if want := e.Sigmoid(in); got.Raw() != want.Raw() {
+			t.Errorf("sigmoid circuit(%g) = %d, software %d", x, got.Raw(), want.Raw())
+		}
+	}
+}
+
+func TestGateCountsReasonable(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	s, err := circuit.Count(func(b *circuit.Builder) {
+		z := stdcell.Input(b, circuit.Garbler, f.Bits())
+		b.Outputs(e.TanhCircuit(b, z)...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's TanhCORDIC: 8415 XOR / 3900 non-XOR. Ours should land in
+	// the same order of magnitude (same datapath, different synthesis).
+	if s.AND < 1000 || s.AND > 20000 {
+		t.Errorf("TanhCORDIC non-XOR = %d, outside expected range", s.AND)
+	}
+	t.Logf("TanhCORDIC: %v over %d iterations", s, e.Iterations())
+}
+
+func TestOddAndBoundedProperties(t *testing.T) {
+	e := New(fixed.Default)
+	f := fixed.Default
+	one := f.One().Raw()
+	for x := 0.1; x < 7.9; x += 0.23 {
+		p := e.Tanh(f.FromFloat(x))
+		n := e.Tanh(f.FromFloat(-x))
+		// Odd symmetry within 4 ULP (the two rotation directions
+		// quantize their angle residues independently).
+		if d := p.Raw() + n.Raw(); d > 4 || d < -4 {
+			t.Errorf("tanh odd symmetry violated at %g: %d vs %d", x, p.Raw(), n.Raw())
+		}
+		if p.Raw() > one || p.Raw() < -one {
+			t.Errorf("tanh(%g) = %g out of [-1,1]", x, p.Float())
+		}
+		s := e.Sigmoid(f.FromFloat(x))
+		if s.Raw() < 0 || s.Raw() > one {
+			t.Errorf("sigmoid(%g) = %g out of [0,1]", x, s.Float())
+		}
+	}
+}
+
+func TestNarrowFormat(t *testing.T) {
+	// CORDIC must also work for other formats, e.g. 1+2+9 = 12-bit.
+	f := fixed.Format{IntBits: 2, FracBits: 9}
+	e := New(f)
+	worst := 0.0
+	for x := -3.9; x <= 3.9; x += 0.13 {
+		in := f.FromFloat(x)
+		got := e.Tanh(in).Float()
+		want := math.Tanh(in.Float())
+		if err := math.Abs(got - want); err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("narrow-format tanh worst error = %g", worst)
+	}
+}

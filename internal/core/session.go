@@ -1,0 +1,223 @@
+// Package core orchestrates DeepSecure's end-to-end secure inference
+// protocol (paper Fig. 2 and Fig. 3): the client (data owner) garbles the
+// publicly-known DL netlist and the cloud server (model owner) evaluates
+// it, with the client's data bits entering as garbler inputs, the model
+// weights entering through IKNP oblivious transfer, and only the client
+// learning the inference label.
+//
+// The package also implements the secure-outsourcing deployment (§3.3,
+// Fig. 4) where a resource-constrained client XOR-shares its input between
+// a proxy (who garbles) and the main server (who evaluates), and neither
+// learns the input or — in this implementation — the result.
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/gc"
+	"deepsecure/internal/netgen"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/ot"
+	"deepsecure/internal/transport"
+)
+
+const protocolHello = "deepsecure/1"
+
+// Stats summarizes one secure inference run.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	Duration      time.Duration
+	ANDGates      int64
+	FreeGates     int64
+}
+
+// Server hosts the private model and evaluates garbled circuits for
+// clients.
+type Server struct {
+	Net *nn.Network
+	Fmt fixed.Format
+	// Rng sources protocol randomness (crypto/rand when nil).
+	Rng io.Reader
+}
+
+func rngOrDefault(r io.Reader) io.Reader {
+	if r == nil {
+		return rand.Reader
+	}
+	return r
+}
+
+// Serve answers one inference request on conn (Fig. 3 server side): the
+// protocol reveals nothing about the weights to the client beyond the
+// public architecture/sparsity map, and nothing about the data or result
+// to the server.
+func (s *Server) Serve(conn *transport.Conn) error {
+	rng := rngOrDefault(s.Rng)
+	hello, err := conn.Recv(transport.MsgHello)
+	if err != nil {
+		return err
+	}
+	if string(hello) != protocolHello {
+		return fmt.Errorf("core: unknown protocol %q", hello)
+	}
+	spec, err := s.Net.Spec(s.Fmt).Marshal()
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(transport.MsgArch, spec); err != nil {
+		return err
+	}
+
+	sink, err := s.newEvaluatorSink(conn, rng, nn.WeightBits(s.Net, s.Fmt))
+	if err != nil {
+		return err
+	}
+	b := circuit.NewBuilder(sink, circuit.WithRecycling())
+	if _, err := netgen.Generate(b, s.Net, s.Fmt, netgen.Options{}); err != nil {
+		return err
+	}
+	if err := b.Err(); err != nil {
+		return err
+	}
+
+	payload := make([]byte, 0, len(sink.outLabels)*gc.LabelSize)
+	for _, l := range sink.outLabels {
+		payload = append(payload, l[:]...)
+	}
+	if err := conn.Send(transport.MsgOutputLabels, payload); err != nil {
+		return err
+	}
+	return conn.Flush()
+}
+
+func (s *Server) newEvaluatorSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*evaluatorSink, error) {
+	constLabels, err := conn.Recv(transport.MsgConstLabels)
+	if err != nil {
+		return nil, err
+	}
+	if len(constLabels) != 2*gc.LabelSize {
+		return nil, fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
+	}
+	e := gc.NewEvaluator()
+	var lf, lt gc.Label
+	copy(lf[:], constLabels[:gc.LabelSize])
+	copy(lt[:], constLabels[gc.LabelSize:])
+	e.SetLabel(circuit.WFalse, lf)
+	e.SetLabel(circuit.WTrue, lt)
+
+	ots, err := ot.NewExtReceiver(conn, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &evaluatorSink{e: e, conn: conn, ots: ots, inputBits: inputBits}, nil
+}
+
+// Client runs secure inferences against a server.
+type Client struct {
+	// Rng sources protocol randomness (crypto/rand when nil).
+	Rng io.Reader
+}
+
+// Infer classifies one sample (Fig. 3 client side) and returns the
+// inference label, which only the client learns.
+func (c *Client) Infer(conn *transport.Conn, x []float64) (int, *Stats, error) {
+	start := time.Now()
+	rng := rngOrDefault(c.Rng)
+	if err := conn.Send(transport.MsgHello, []byte(protocolHello)); err != nil {
+		return 0, nil, err
+	}
+	specData, err := conn.Recv(transport.MsgArch)
+	if err != nil {
+		return 0, nil, err
+	}
+	spec, err := nn.UnmarshalSpec(specData)
+	if err != nil {
+		return 0, nil, err
+	}
+	net, err := spec.Build()
+	if err != nil {
+		return 0, nil, err
+	}
+	f := spec.Format
+	if got, want := len(x), net.In.Len(); got != want {
+		return 0, nil, fmt.Errorf("core: sample has %d features, model wants %d", got, want)
+	}
+
+	var bits []bool
+	for _, v := range x {
+		bits = append(bits, f.FromFloatSat(v).Bits()...)
+	}
+	sink, err := newGarblerSink(conn, rng, bits)
+	if err != nil {
+		return 0, nil, err
+	}
+	b := circuit.NewBuilder(sink, circuit.WithRecycling())
+	if _, err := netgen.Generate(b, net, f, netgen.Options{}); err != nil {
+		return 0, nil, err
+	}
+	if err := b.Err(); err != nil {
+		return 0, nil, err
+	}
+	if err := sink.flushTables(); err != nil {
+		return 0, nil, err
+	}
+
+	payload, err := conn.Recv(transport.MsgOutputLabels)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) != len(sink.outZero)*gc.LabelSize {
+		return 0, nil, fmt.Errorf("core: output-label frame has %d bytes, want %d",
+			len(payload), len(sink.outZero)*gc.LabelSize)
+	}
+	// Merge results (§2.2.2 step iv) with full-label authentication: a
+	// tampered or corrupted evaluation cannot yield a silently wrong
+	// label, it fails here.
+	label := 0
+	for i := range sink.outZero {
+		var l gc.Label
+		copy(l[:], payload[i*gc.LabelSize:])
+		switch l {
+		case sink.outZero[i]:
+			// bit 0
+		case sink.outZero[i].XOR(sink.g.R):
+			label |= 1 << uint(i)
+		default:
+			return 0, nil, fmt.Errorf("core: output label %d failed authentication", i)
+		}
+	}
+	st := &Stats{
+		BytesSent:     conn.BytesSent,
+		BytesReceived: conn.BytesReceived,
+		Duration:      time.Since(start),
+		ANDGates:      sink.g.ANDGates,
+		FreeGates:     sink.g.FreeGates,
+	}
+	return label, st, nil
+}
+
+func newGarblerSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*garblerSink, error) {
+	g, err := gc.NewGarbler(rng)
+	if err != nil {
+		return nil, err
+	}
+	lf, lt, err := g.ConstLabels()
+	if err != nil {
+		return nil, err
+	}
+	payload := append(append([]byte{}, lf[:]...), lt[:]...)
+	if err := conn.Send(transport.MsgConstLabels, payload); err != nil {
+		return nil, err
+	}
+	ots, err := ot.NewExtSender(conn, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &garblerSink{g: g, conn: conn, ots: ots, inputBits: inputBits}, nil
+}

@@ -1,0 +1,173 @@
+// Package datasets generates the synthetic stand-ins for the paper's
+// evaluation data (§4.5): MNIST-like visual grids, ISOLET-like audio
+// features, and DSA-like smart-sensing features. The environment is
+// offline, so instead of the real datasets we draw class-conditional
+// Gaussian mixtures supported on a shared low-rank subspace — which
+// preserves the two properties the experiments need: the data is
+// learnable (so training/retraining converges) and approximately low-rank
+// (so the data-projection pre-processing of §3.2.1 has structure to find).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Name    string
+	Dim     int // feature dimension (paper: 784 / 617 / 5625)
+	Classes int
+	Rank    int     // intrinsic dimension of the signal subspace
+	Noise   float64 // isotropic noise level added outside the subspace
+	Train   int
+	Test    int
+	Seed    int64
+	// Smooth applies a neighbor-averaging pass so features have local
+	// correlation (for the CNN benchmark).
+	Smooth bool
+}
+
+// Set is a generated dataset split into train and test.
+type Set struct {
+	Config Config
+	TrainX [][]float64
+	TrainY []int
+	TestX  [][]float64
+	TestY  []int
+}
+
+// Generate draws the dataset.
+func Generate(cfg Config) (*Set, error) {
+	if cfg.Dim <= 0 || cfg.Classes <= 1 || cfg.Train <= 0 {
+		return nil, fmt.Errorf("datasets: bad config %+v", cfg)
+	}
+	if cfg.Rank <= 0 || cfg.Rank > cfg.Dim {
+		return nil, fmt.Errorf("datasets: rank %d out of range (dim %d)", cfg.Rank, cfg.Dim)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared low-rank basis (not orthonormalized; scale keeps features
+	// roughly in [-1, 1]).
+	basis := make([][]float64, cfg.Rank)
+	for r := range basis {
+		basis[r] = make([]float64, cfg.Dim)
+		for d := range basis[r] {
+			basis[r][d] = rng.NormFloat64() / math.Sqrt(float64(cfg.Rank))
+		}
+	}
+	// Class centers in the latent space.
+	centers := make([][]float64, cfg.Classes)
+	for c := range centers {
+		centers[c] = make([]float64, cfg.Rank)
+		for r := range centers[c] {
+			centers[c][r] = rng.NormFloat64() * 1.5
+		}
+	}
+
+	draw := func(n int) ([][]float64, []int) {
+		xs := make([][]float64, n)
+		ys := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := rng.Intn(cfg.Classes)
+			ys[i] = c
+			latent := make([]float64, cfg.Rank)
+			for r := range latent {
+				latent[r] = centers[c][r] + rng.NormFloat64()*0.35
+			}
+			x := make([]float64, cfg.Dim)
+			for r := range latent {
+				for d := 0; d < cfg.Dim; d++ {
+					x[d] += latent[r] * basis[r][d]
+				}
+			}
+			if cfg.Noise > 0 {
+				for d := range x {
+					x[d] += rng.NormFloat64() * cfg.Noise
+				}
+			}
+			if cfg.Smooth {
+				x = smooth(x)
+			}
+			clamp(x)
+			xs[i] = x
+		}
+		return xs, ys
+	}
+
+	s := &Set{Config: cfg}
+	s.TrainX, s.TrainY = draw(cfg.Train)
+	s.TestX, s.TestY = draw(cfg.Test)
+	return s, nil
+}
+
+func smooth(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		acc, n := x[i], 1.0
+		if i > 0 {
+			acc += x[i-1]
+			n++
+		}
+		if i+1 < len(x) {
+			acc += x[i+1]
+			n++
+		}
+		out[i] = acc / n
+	}
+	return out
+}
+
+func clamp(x []float64) {
+	for i := range x {
+		if x[i] > 3.9 {
+			x[i] = 3.9
+		}
+		if x[i] < -3.9 {
+			x[i] = -3.9
+		}
+	}
+}
+
+// Benchmark configurations mirroring the paper's four benchmarks (§4.5)
+// at their native dimensionalities. Train sizes are scaled to what a test
+// suite can afford; the *architectures* (which determine all gate counts)
+// are exact.
+
+// MNISTLike mirrors the 28×28 visual data of benchmarks 1 and 2.
+func MNISTLike(seed int64) Config {
+	return Config{Name: "mnist-like", Dim: 784, Classes: 10, Rank: 24,
+		Noise: 0.05, Train: 600, Test: 150, Seed: seed, Smooth: true}
+}
+
+// AudioLike mirrors the 617-feature ISOLET audio data of benchmark 3.
+func AudioLike(seed int64) Config {
+	return Config{Name: "audio-like", Dim: 617, Classes: 26, Rank: 40,
+		Noise: 0.05, Train: 900, Test: 200, Seed: seed}
+}
+
+// SensingLike mirrors the 5625-feature smart-sensing data of benchmark 4.
+func SensingLike(seed int64) Config {
+	return Config{Name: "sensing-like", Dim: 5625, Classes: 19, Rank: 36,
+		Noise: 0.04, Train: 500, Test: 120, Seed: seed}
+}
+
+// Scaled returns the config with feature dimension and sample counts
+// divided by k (for affordable in-test training runs at benchmark shape).
+func Scaled(cfg Config, k int) Config {
+	cfg.Name = fmt.Sprintf("%s/%d", cfg.Name, k)
+	cfg.Dim /= k
+	if cfg.Rank > cfg.Dim {
+		cfg.Rank = cfg.Dim
+	}
+	cfg.Train /= k
+	if cfg.Train < 100 {
+		cfg.Train = 100
+	}
+	cfg.Test /= k
+	if cfg.Test < 50 {
+		cfg.Test = 50
+	}
+	return cfg
+}

@@ -1,0 +1,94 @@
+package datasets
+
+import "testing"
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	cfg := Config{Name: "t", Dim: 30, Classes: 4, Rank: 5, Noise: 0.05,
+		Train: 50, Test: 20, Seed: 3}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.TrainX) != 50 || len(a.TestX) != 20 {
+		t.Fatalf("split sizes %d/%d", len(a.TrainX), len(a.TestX))
+	}
+	if len(a.TrainX[0]) != 30 {
+		t.Fatalf("dim %d", len(a.TrainX[0]))
+	}
+	for _, y := range a.TrainY {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TrainX[0] {
+		if a.TrainX[0][i] != b.TrainX[0][i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, err := Generate(Config{Name: "t", Dim: 30, Classes: 4, Rank: 5,
+		Noise: 0.05, Train: 50, Test: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.TrainX[0] {
+		if a.TrainX[0][i] != c.TrainX[0][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestValuesClamped(t *testing.T) {
+	set, err := Generate(Config{Name: "c", Dim: 40, Classes: 3, Rank: 6,
+		Noise: 0.4, Train: 100, Test: 10, Seed: 1, Smooth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range set.TrainX {
+		for _, v := range x {
+			if v > 3.9 || v < -3.9 {
+				t.Fatalf("value %g outside the fixed-point-safe clamp", v)
+			}
+		}
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Classes: 3, Rank: 2, Train: 10},
+		{Dim: 10, Classes: 1, Rank: 2, Train: 10},
+		{Dim: 10, Classes: 3, Rank: 0, Train: 10},
+		{Dim: 10, Classes: 3, Rank: 20, Train: 10},
+		{Dim: 10, Classes: 3, Rank: 2, Train: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestPresetsAndScaled(t *testing.T) {
+	for _, cfg := range []Config{MNISTLike(1), AudioLike(1), SensingLike(1)} {
+		if cfg.Dim == 0 || cfg.Classes == 0 {
+			t.Errorf("preset %s empty", cfg.Name)
+		}
+	}
+	s := Scaled(SensingLike(1), 5)
+	if s.Dim != 5625/5 {
+		t.Errorf("scaled dim %d", s.Dim)
+	}
+	if s.Rank > s.Dim {
+		t.Errorf("scaled rank %d > dim %d", s.Rank, s.Dim)
+	}
+	if s.Train < 100 || s.Test < 50 {
+		t.Errorf("scaled sizes too small: %d/%d", s.Train, s.Test)
+	}
+}

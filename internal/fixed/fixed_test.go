@@ -1,0 +1,275 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBasics(t *testing.T) {
+	f := Default
+	if f.Bits() != 16 {
+		t.Fatalf("Default.Bits() = %d, want 16", f.Bits())
+	}
+	if f.Scale() != 4096 {
+		t.Fatalf("Default.Scale() = %g, want 4096", f.Scale())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Default.Validate() = %v", err)
+	}
+}
+
+func TestFormatValidate(t *testing.T) {
+	cases := []struct {
+		f  Format
+		ok bool
+	}{
+		{Format{3, 12}, true},
+		{Format{0, 0}, false}, // width 1
+		{Format{0, 1}, true},  // width 2
+		{Format{-1, 12}, false},
+		{Format{3, -1}, false},
+		{Format{40, 40}, false}, // width 81
+		{Format{30, 32}, true},  // width 63
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.f, err, c.ok)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := Default
+	for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.25, -3.75, 7.9997, -8} {
+		n := f.FromFloat(x)
+		if got := n.Float(); math.Abs(got-x) > 1.0/f.Scale() {
+			t.Errorf("round trip %g -> %g, err too large", x, got)
+		}
+	}
+}
+
+func TestWrapBehaviour(t *testing.T) {
+	f := Default // range [-8, 8)
+	// 8.0 wraps to -8.0 in Q3.12.
+	n := f.FromFloat(8.0)
+	if n.Float() != -8.0 {
+		t.Errorf("FromFloat(8.0) = %g, want -8 (wrap)", n.Float())
+	}
+	// Saturating conversion clamps instead.
+	s := f.FromFloatSat(8.0)
+	if s.Raw() != f.MaxRaw() {
+		t.Errorf("FromFloatSat(8.0).Raw() = %d, want %d", s.Raw(), f.MaxRaw())
+	}
+	if f.FromFloatSat(-100).Raw() != f.MinRaw() {
+		t.Errorf("FromFloatSat(-100) should clamp to MinRaw")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := Default
+	check := func(raw int64) bool {
+		n := f.FromRaw(raw)
+		bits := n.Bits()
+		if len(bits) != 16 {
+			return false
+		}
+		m, err := f.FromBits(bits)
+		return err == nil && m.Raw() == n.Raw()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBitsLengthError(t *testing.T) {
+	if _, err := Default.FromBits(make([]bool, 5)); err == nil {
+		t.Error("FromBits with wrong length should error")
+	}
+}
+
+func TestAddSubWrapAgreesWithInt64(t *testing.T) {
+	f := Default
+	check := func(a, b int64) bool {
+		x, y := f.FromRaw(a), f.FromRaw(b)
+		if x.Add(y).Raw() != f.Wrap(x.Raw()+y.Raw()) {
+			return false
+		}
+		if x.Sub(y).Raw() != f.Wrap(x.Raw()-y.Raw()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesShiftedProduct(t *testing.T) {
+	f := Default
+	check := func(a, b int64) bool {
+		x, y := f.FromRaw(a), f.FromRaw(b)
+		want := f.Wrap((x.Raw() * y.Raw()) >> 12)
+		return x.Mul(y).Raw() == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	f := Default
+	cases := []struct{ a, b, want float64 }{
+		{1, 1, 1},
+		{2, 3, 6},
+		{-2, 3, -6},
+		{0.5, 0.5, 0.25},
+		{-0.5, 0.5, -0.25},
+		{1.5, -2, -3},
+	}
+	for _, c := range cases {
+		got := f.FromFloat(c.a).Mul(f.FromFloat(c.b)).Float()
+		if math.Abs(got-c.want) > 2.0/f.Scale() {
+			t.Errorf("%g*%g = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := Default
+	cases := []struct{ a, b, want float64 }{
+		{1, 2, 0.5},
+		{6, 3, 2},
+		{-6, 3, -2},
+		{6, -3, -2},
+		{-6, -3, 2},
+		{1, 3, 1.0 / 3.0},
+		{0.5, 0.25, 2},
+	}
+	for _, c := range cases {
+		got := f.FromFloat(c.a).Div(f.FromFloat(c.b)).Float()
+		if math.Abs(got-c.want) > 4.0/f.Scale() {
+			t.Errorf("%g/%g = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroSaturates(t *testing.T) {
+	f := Default
+	if got := f.FromFloat(1).Div(f.Zero()); got.Raw() != f.MaxRaw() {
+		t.Errorf("1/0 = %v, want Max", got)
+	}
+	if got := f.FromFloat(-1).Div(f.Zero()); got.Raw() != f.MinRaw() {
+		t.Errorf("-1/0 = %v, want Min", got)
+	}
+}
+
+func TestSaturatingOps(t *testing.T) {
+	f := Default
+	max := f.Max()
+	if got := max.AddSat(f.One()); got.Raw() != f.MaxRaw() {
+		t.Errorf("Max+1 (sat) = %v, want Max", got)
+	}
+	if got := f.Min().AddSat(f.FromFloat(-1)); got.Raw() != f.MinRaw() {
+		t.Errorf("Min-1 (sat) = %v, want Min", got)
+	}
+	if got := f.FromFloat(4).MulSat(f.FromFloat(4)); got.Raw() != f.MaxRaw() {
+		t.Errorf("4*4 (sat) = %v, want Max", got)
+	}
+	if got := f.FromFloat(-4).MulSat(f.FromFloat(4)); got.Raw() != f.MinRaw() {
+		t.Errorf("-4*4 (sat) = %v, want Min", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	f := Default
+	n := f.FromFloat(2)
+	if got := n.Shr(1).Float(); got != 1 {
+		t.Errorf("2>>1 = %g, want 1", got)
+	}
+	if got := n.Shl(1).Float(); got != 4 {
+		t.Errorf("2<<1 = %g, want 4", got)
+	}
+	neg := f.FromFloat(-2)
+	if got := neg.Shr(1).Float(); got != -1 {
+		t.Errorf("-2>>1 (arithmetic) = %g, want -1", got)
+	}
+	if got := neg.Shr(100); got.Raw() != -1 {
+		t.Errorf("-2>>100 = %d, want -1", got.Raw())
+	}
+	if got := n.Shl(100); got.Raw() != 0 {
+		t.Errorf("2<<100 = %d, want 0", got.Raw())
+	}
+}
+
+func TestCmpAbsReLU(t *testing.T) {
+	f := Default
+	a, b := f.FromFloat(1.5), f.FromFloat(-2.5)
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if b.Abs().Float() != 2.5 {
+		t.Errorf("Abs(-2.5) = %g", b.Abs().Float())
+	}
+	if b.ReLU().Float() != 0 || a.ReLU().Float() != 1.5 {
+		t.Error("ReLU wrong")
+	}
+	if !b.IsNeg() || a.IsNeg() {
+		t.Error("IsNeg wrong")
+	}
+}
+
+func TestNegWrapsAtMin(t *testing.T) {
+	f := Default
+	if got := f.Min().Neg(); got.Raw() != f.MinRaw() {
+		t.Errorf("-Min = %d, want Min (two's-complement wrap)", got.Raw())
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	f := Default
+	xs := []float64{0.5, -1, 2}
+	ns := f.Vec(xs)
+	back := Floats(ns)
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > 1.0/f.Scale() {
+			t.Errorf("vec round trip idx %d: %g -> %g", i, xs[i], back[i])
+		}
+	}
+}
+
+func TestFormatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add across formats should panic")
+		}
+	}()
+	a := Default.FromFloat(1)
+	b := Format{IntBits: 7, FracBits: 8}.FromFloat(1)
+	_ = a.Add(b)
+}
+
+func TestSmallFormats(t *testing.T) {
+	// Degenerate but legal formats must still wrap correctly.
+	f := Format{IntBits: 0, FracBits: 1} // 2-bit: values {-1, -0.5, 0, 0.5}
+	if f.Bits() != 2 {
+		t.Fatalf("Bits = %d", f.Bits())
+	}
+	if got := f.FromRaw(2).Raw(); got != -2 {
+		t.Errorf("wrap(2) in 2-bit = %d, want -2", got)
+	}
+	if got := f.FromRaw(1).Add(f.FromRaw(1)).Raw(); got != -2 {
+		t.Errorf("1+1 in 2-bit = %d, want -2 (wrap)", got)
+	}
+}
+
+func TestOneEps(t *testing.T) {
+	f := Default
+	if f.One().Float() != 1.0 {
+		t.Errorf("One = %g", f.One().Float())
+	}
+	if f.Eps().Raw() != 1 {
+		t.Errorf("Eps raw = %d", f.Eps().Raw())
+	}
+}

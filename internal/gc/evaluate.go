@@ -1,0 +1,118 @@
+package gc
+
+import (
+	"fmt"
+
+	"deepsecure/internal/circuit"
+)
+
+// Evaluator holds the evaluation state: the single active label per live
+// wire and the same gate counter the garbler uses for hash tweaks.
+type Evaluator struct {
+	h      *Hasher
+	labels []Label
+	have   []bool
+	gid    uint64
+}
+
+// NewEvaluator creates an evaluator. The constant-wire labels must be set
+// with SetLabel before any gate referencing them is evaluated.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{h: NewHasher()}
+}
+
+func (e *Evaluator) ensure(w uint32) {
+	for uint32(len(e.labels)) <= w {
+		e.labels = append(e.labels, Label{})
+		e.have = append(e.have, false)
+	}
+}
+
+// SetLabel installs the active label for wire w (inputs, constants).
+func (e *Evaluator) SetLabel(w uint32, l Label) {
+	e.ensure(w)
+	e.labels[w] = l
+	e.have[w] = true
+}
+
+// Label returns the active label of wire w.
+func (e *Evaluator) Label(w uint32) (Label, error) {
+	if uint32(len(e.labels)) <= w || !e.have[w] {
+		return Label{}, fmt.Errorf("gc: evaluator has no label for wire %d", w)
+	}
+	return e.labels[w], nil
+}
+
+// Eval processes one gate. For AND gates it consumes TableSize bytes from
+// table and returns the remainder; XOR and INV gates consume nothing.
+func (e *Evaluator) Eval(gate circuit.Gate, table []byte) ([]byte, error) {
+	e.ensure(gate.Out)
+	switch gate.Op {
+	case circuit.XOR:
+		a, err := e.Label(gate.A)
+		if err != nil {
+			return table, err
+		}
+		b, err := e.Label(gate.B)
+		if err != nil {
+			return table, err
+		}
+		e.labels[gate.Out] = a.XOR(b)
+		e.have[gate.Out] = true
+		return table, nil
+
+	case circuit.INV:
+		a, err := e.Label(gate.A)
+		if err != nil {
+			return table, err
+		}
+		// Free inversion: the label is carried through unchanged; only
+		// the garbler's semantics map flips.
+		e.labels[gate.Out] = a
+		e.have[gate.Out] = true
+		return table, nil
+
+	case circuit.AND:
+		if len(table) < TableSize {
+			return table, fmt.Errorf("gc: garbled table underrun (have %d bytes, need %d)", len(table), TableSize)
+		}
+		var tg, te Label
+		copy(tg[:], table[:LabelSize])
+		copy(te[:], table[LabelSize:TableSize])
+		table = table[TableSize:]
+
+		a, err := e.Label(gate.A)
+		if err != nil {
+			return table, err
+		}
+		b, err := e.Label(gate.B)
+		if err != nil {
+			return table, err
+		}
+		j0 := 2 * e.gid
+		j1 := 2*e.gid + 1
+		e.gid++
+
+		wg := e.h.H(a, j0)
+		if a.LSB() {
+			wg = wg.XOR(tg)
+		}
+		we := e.h.H(b, j1)
+		if b.LSB() {
+			we = we.XOR(te).XOR(a)
+		}
+		e.labels[gate.Out] = wg.XOR(we)
+		e.have[gate.Out] = true
+		return table, nil
+
+	default:
+		return table, fmt.Errorf("gc: cannot evaluate op %v", gate.Op)
+	}
+}
+
+// Drop forgets a dead wire's label.
+func (e *Evaluator) Drop(w uint32) {
+	if uint32(len(e.have)) > w {
+		e.have[w] = false
+	}
+}

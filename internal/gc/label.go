@@ -1,0 +1,131 @@
+// Package gc implements Yao's garbled-circuit protocol core with the full
+// optimization stack the paper relies on (§2.3): point-and-permute,
+// Free-XOR (and free INV), row-reduction + half-gates (two 128-bit
+// ciphertexts per AND gate), and fixed-key block-cipher garbling
+// (JustGarble-style AES Davies–Meyer hashing, which uses AES-NI through
+// Go's crypto/aes on amd64).
+//
+// The package is pure computation: the Garbler and Evaluator consume a
+// gate stream and produce/consume garbled tables as byte slices; all
+// transport, oblivious transfer, and session logic live in other packages.
+// This separation is what enables the sequential/streaming execution of
+// §3.5 — gates are garbled and discarded on the fly, keeping memory
+// proportional to the live-wire set.
+package gc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// SecurityBits is the GC security parameter (label width in bits). The
+// paper sets it to 128 (§4.1).
+const SecurityBits = 128
+
+// LabelSize is the size of a wire label in bytes.
+const LabelSize = SecurityBits / 8
+
+// TableSize is the size of the garbled table per AND gate: two ciphertexts
+// under half-gates (§2.3 Row-Reduction + Half-Gates ⇒ 2 × 128 bits, the
+// constant in the paper's Eq. 4).
+const TableSize = 2 * LabelSize
+
+// Label is a 128-bit wire label.
+type Label [LabelSize]byte
+
+// XOR returns l ⊕ o.
+func (l Label) XOR(o Label) Label {
+	var r Label
+	a1 := binary.LittleEndian.Uint64(l[0:8])
+	a2 := binary.LittleEndian.Uint64(l[8:16])
+	b1 := binary.LittleEndian.Uint64(o[0:8])
+	b2 := binary.LittleEndian.Uint64(o[8:16])
+	binary.LittleEndian.PutUint64(r[0:8], a1^b1)
+	binary.LittleEndian.PutUint64(r[8:16], a2^b2)
+	return r
+}
+
+// LSB returns the point-and-permute bit of the label.
+func (l Label) LSB() bool { return l[0]&1 == 1 }
+
+// IsZero reports whether the label is all zeros (used as a sentinel for
+// "label missing" in integrity checks).
+func (l Label) IsZero() bool {
+	for _, b := range l {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// double multiplies the label by x in GF(2^128) with the standard
+// reduction polynomial (x^128 + x^7 + x^2 + x + 1), treating the label as
+// a big-endian polynomial — the usual tweakable-cipher doubling.
+func double(l Label) Label {
+	var r Label
+	carry := byte(0)
+	for i := LabelSize - 1; i >= 0; i-- {
+		r[i] = l[i]<<1 | carry
+		carry = l[i] >> 7
+	}
+	if carry != 0 {
+		r[LabelSize-1] ^= 0x87
+	}
+	return r
+}
+
+// fixedKey is the public fixed AES key of the garbling hash. Its value is
+// arbitrary but must be identical for garbler and evaluator.
+var fixedKey = [16]byte{
+	0xd3, 0x3e, 0x5f, 0x0a, 0x91, 0x27, 0x6c, 0xb8,
+	0x44, 0xfe, 0x09, 0x73, 0xa2, 0x58, 0x1d, 0xc6,
+}
+
+// Hasher computes the correlation-robust garbling hash
+// H(L, t) = AES_fixed(2L ⊕ t) ⊕ (2L ⊕ t).
+type Hasher struct {
+	block cipher.Block
+}
+
+// NewHasher builds the fixed-key hasher.
+func NewHasher() *Hasher {
+	block, err := aes.NewCipher(fixedKey[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes; 16 is valid.
+		panic(fmt.Sprintf("gc: fixed-key AES init: %v", err))
+	}
+	return &Hasher{block: block}
+}
+
+// H computes the hash of label l under tweak t.
+func (h *Hasher) H(l Label, t uint64) Label {
+	k := double(l)
+	binary.LittleEndian.PutUint64(k[0:8], binary.LittleEndian.Uint64(k[0:8])^t)
+	var out Label
+	h.block.Encrypt(out[:], k[:])
+	return out.XOR(k)
+}
+
+// RandomLabel draws a fresh label from rng.
+func RandomLabel(rng io.Reader) (Label, error) {
+	var l Label
+	if _, err := io.ReadFull(rng, l[:]); err != nil {
+		return Label{}, fmt.Errorf("gc: label randomness: %w", err)
+	}
+	return l, nil
+}
+
+// RandomDelta draws the global Free-XOR offset R, forcing LSB(R)=1 so
+// point-and-permute bits of a label pair always differ.
+func RandomDelta(rng io.Reader) (Label, error) {
+	r, err := RandomLabel(rng)
+	if err != nil {
+		return Label{}, err
+	}
+	r[0] |= 1
+	return r, nil
+}

@@ -1,0 +1,449 @@
+package hebaseline
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// Params selects the scheme dimensions.
+type Params struct {
+	// N is the ring dimension (power of two) — also the SIMD slot count.
+	N int
+	// QBits sizes the ciphertext modulus (≤ 61).
+	QBits int
+	// TBits sizes the prime plaintext modulus (slots live in Z_t).
+	TBits int
+	// B bounds the error distribution (uniform in [-B, B]).
+	B int
+	// Seed drives all randomness (the baseline needs reproducibility,
+	// not cryptographic strength).
+	Seed int64
+}
+
+// DefaultParams fits correctness tests: depth-1 multiplications with
+// comfortable noise margin.
+func DefaultParams() Params {
+	return Params{N: 1024, QBits: 60, TBits: 17, B: 3, Seed: 1}
+}
+
+// EvalParams mirrors CryptoNets' scale (N = 4096/8192 slots) for the
+// timing measurements behind Table 6 and Figure 6.
+func EvalParams(n int) Params {
+	return Params{N: n, QBits: 60, TBits: 17, B: 3, Seed: 1}
+}
+
+// Scheme is a BFV-style leveled HE instance.
+type Scheme struct {
+	P     Params
+	q     uint64
+	t     uint64
+	delta uint64
+	rq    *ring
+	rt    *ring // plaintext-side NTT for slot batching
+	aux   []*ring
+	rng   *rand.Rand
+
+	// CRT reconstruction precomputation over {q, aux...}.
+	bigP     *big.Int
+	crtTerms []*big.Int // (P/p_i) · ((P/p_i)^-1 mod p_i)
+	halfP    *big.Int
+	bigQ     *big.Int
+	halfQ    *big.Int
+	bigT     *big.Int
+}
+
+// NewScheme instantiates the scheme, deriving NTT-friendly primes.
+func NewScheme(p Params) (*Scheme, error) {
+	if p.QBits > 61 || p.QBits < 20 {
+		return nil, fmt.Errorf("hebaseline: QBits %d out of range", p.QBits)
+	}
+	q, err := findPrime(uint64(1)<<uint(p.QBits), p.N)
+	if err != nil {
+		return nil, err
+	}
+	t, err := findPrime(uint64(1)<<uint(p.TBits), p.N)
+	if err != nil {
+		return nil, err
+	}
+	rq, err := newRing(p.N, q)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := newRing(p.N, t)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheme{P: p, q: q, t: t, delta: q / t, rq: rq, rt: rt,
+		rng: rand.New(rand.NewSource(p.Seed))}
+
+	// Two auxiliary primes so tensor products are exact:
+	// |coeff| ≤ N (q/2)² < (q·a1·a2)/2.
+	prev := q
+	for len(s.aux) < 2 {
+		a, err := findPrime(prev-1, p.N)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := newRing(p.N, a)
+		if err != nil {
+			return nil, err
+		}
+		s.aux = append(s.aux, ra)
+		prev = a
+	}
+
+	primes := []uint64{q, s.aux[0].q, s.aux[1].q}
+	s.bigP = big.NewInt(1)
+	for _, pi := range primes {
+		s.bigP.Mul(s.bigP, new(big.Int).SetUint64(pi))
+	}
+	for _, pi := range primes {
+		pb := new(big.Int).SetUint64(pi)
+		mi := new(big.Int).Div(s.bigP, pb)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(mi, pb), pb)
+		s.crtTerms = append(s.crtTerms, new(big.Int).Mul(mi, inv))
+	}
+	s.halfP = new(big.Int).Rsh(s.bigP, 1)
+	s.bigQ = new(big.Int).SetUint64(q)
+	s.halfQ = new(big.Int).Rsh(s.bigQ, 1)
+	s.bigT = new(big.Int).SetUint64(t)
+	return s, nil
+}
+
+// Slots returns the SIMD slot count (= N).
+func (s *Scheme) Slots() int { return s.P.N }
+
+// T returns the plaintext modulus.
+func (s *Scheme) T() uint64 { return s.t }
+
+// SecretKey is a ternary polynomial.
+type SecretKey struct {
+	s []uint64
+}
+
+// PublicKey is the standard (p0, p1) = (-(a·s+e), a) pair.
+type PublicKey struct {
+	p0, p1 []uint64
+}
+
+// Ciphertext carries one or more polynomial components; fresh encryptions
+// have two, and each multiplication adds the degrees (no relinearization).
+type Ciphertext struct {
+	C [][]uint64
+}
+
+// Degree returns the number of components.
+func (c *Ciphertext) Degree() int { return len(c.C) }
+
+func (s *Scheme) ternary() []uint64 {
+	out := make([]uint64, s.P.N)
+	for i := range out {
+		switch s.rng.Intn(3) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = 1
+		default:
+			out[i] = s.q - 1
+		}
+	}
+	return out
+}
+
+func (s *Scheme) smallError() []uint64 {
+	out := make([]uint64, s.P.N)
+	for i := range out {
+		e := s.rng.Intn(2*s.P.B+1) - s.P.B
+		if e < 0 {
+			out[i] = s.q - uint64(-e)
+		} else {
+			out[i] = uint64(e)
+		}
+	}
+	return out
+}
+
+func (s *Scheme) uniform() []uint64 {
+	out := make([]uint64, s.P.N)
+	for i := range out {
+		out[i] = s.rng.Uint64() % s.q
+	}
+	return out
+}
+
+func (s *Scheme) addPoly(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = addMod(a[i], b[i], s.q)
+	}
+	return out
+}
+
+// KeyGen draws a fresh key pair.
+func (s *Scheme) KeyGen() (*SecretKey, *PublicKey) {
+	sk := &SecretKey{s: s.ternary()}
+	a := s.uniform()
+	e := s.smallError()
+	as := s.rq.polyMul(a, sk.s)
+	p0 := make([]uint64, s.P.N)
+	for i := range p0 {
+		p0[i] = subMod(0, addMod(as[i], e[i], s.q), s.q)
+	}
+	return sk, &PublicKey{p0: p0, p1: a}
+}
+
+// Encrypt encrypts a plaintext polynomial (coefficients mod t).
+func (s *Scheme) Encrypt(pk *PublicKey, pt []uint64) (*Ciphertext, error) {
+	if len(pt) != s.P.N {
+		return nil, fmt.Errorf("hebaseline: plaintext has %d coeffs, want %d", len(pt), s.P.N)
+	}
+	u := s.ternary()
+	c0 := s.addPoly(s.rq.polyMul(pk.p0, u), s.smallError())
+	for i := range c0 {
+		c0[i] = addMod(c0[i], mulMod(s.delta, pt[i]%s.t, s.q), s.q)
+	}
+	c1 := s.addPoly(s.rq.polyMul(pk.p1, u), s.smallError())
+	return &Ciphertext{C: [][]uint64{c0, c1}}, nil
+}
+
+// phase computes [Σ c_i s^i]_q in the coefficient domain.
+func (s *Scheme) phase(sk *SecretKey, ct *Ciphertext) []uint64 {
+	acc := append([]uint64(nil), ct.C[0]...)
+	sPow := sk.s
+	for k := 1; k < len(ct.C); k++ {
+		term := s.rq.polyMul(ct.C[k], sPow)
+		acc = s.addPoly(acc, term)
+		if k+1 < len(ct.C) {
+			sPow = s.rq.polyMul(sPow, sk.s)
+		}
+	}
+	return acc
+}
+
+// Decrypt recovers the plaintext polynomial.
+func (s *Scheme) Decrypt(sk *SecretKey, ct *Ciphertext) []uint64 {
+	acc := s.phase(sk, ct)
+	out := make([]uint64, s.P.N)
+	for i, x := range acc {
+		out[i] = s.roundTQ(x)
+	}
+	return out
+}
+
+// roundTQ computes round(t·x/q) mod t for a centered x.
+func (s *Scheme) roundTQ(x uint64) uint64 {
+	neg := false
+	if x > s.q/2 {
+		x = s.q - x
+		neg = true
+	}
+	hi, lo := bits.Mul64(s.t, x)
+	var carry uint64
+	lo, carry = bits.Add64(lo, s.q/2, 0)
+	hi += carry
+	quo, _ := bits.Div64(hi, lo, s.q)
+	m := quo % s.t
+	if neg && m != 0 {
+		m = s.t - m
+	}
+	return m
+}
+
+// NoiseBudget returns the remaining noise budget in bits (log2 of the
+// margin before decryption fails). Negative means the ciphertext is dead.
+func (s *Scheme) NoiseBudget(sk *SecretKey, ct *Ciphertext, pt []uint64) float64 {
+	acc := s.phase(sk, ct)
+	worst := uint64(0)
+	for i, x := range acc {
+		clean := mulMod(s.delta, pt[i]%s.t, s.q)
+		v := subMod(x, clean, s.q)
+		if v > s.q/2 {
+			v = s.q - v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	if worst == 0 {
+		return 64
+	}
+	return math.Log2(float64(s.delta)/2) - math.Log2(float64(worst))
+}
+
+// Add returns the homomorphic sum (degrees may differ).
+func (s *Scheme) Add(a, b *Ciphertext) *Ciphertext {
+	if len(b.C) > len(a.C) {
+		a, b = b, a
+	}
+	out := make([][]uint64, len(a.C))
+	for i := range a.C {
+		if i < len(b.C) {
+			out[i] = s.addPoly(a.C[i], b.C[i])
+		} else {
+			out[i] = append([]uint64(nil), a.C[i]...)
+		}
+	}
+	return &Ciphertext{C: out}
+}
+
+// MulScalar multiplies by a signed integer weight (the CryptoNets scalar
+// weight encoding): each component scales mod q.
+func (s *Scheme) MulScalar(a *Ciphertext, w int64) *Ciphertext {
+	var ws uint64
+	if w < 0 {
+		ws = s.q - uint64(-w)%s.q
+	} else {
+		ws = uint64(w) % s.q
+	}
+	out := make([][]uint64, len(a.C))
+	for i, c := range a.C {
+		oc := make([]uint64, len(c))
+		for j, v := range c {
+			oc[j] = mulMod(v, ws, s.q)
+		}
+		out[i] = oc
+	}
+	return &Ciphertext{C: out}
+}
+
+// MulPlain multiplies by a plaintext polynomial (slot-wise under
+// batching).
+func (s *Scheme) MulPlain(a *Ciphertext, pt []uint64) *Ciphertext {
+	// Lift pt mod t to centered values mod q.
+	lifted := make([]uint64, len(pt))
+	for i, v := range pt {
+		vv := v % s.t
+		if vv > s.t/2 {
+			lifted[i] = s.q - (s.t - vv)
+		} else {
+			lifted[i] = vv
+		}
+	}
+	out := make([][]uint64, len(a.C))
+	for i, c := range a.C {
+		out[i] = s.rq.polyMul(c, lifted)
+	}
+	return &Ciphertext{C: out}
+}
+
+// Mul returns the homomorphic product via the exact tensor with t/q
+// rescaling. Components add: deg(out) = deg(a) + deg(b) - 1 (no
+// relinearization keys; decryption handles higher degrees).
+func (s *Scheme) Mul(a, b *Ciphertext) *Ciphertext {
+	ka, kb := len(a.C), len(b.C)
+	// Exact products of each component pair over the 3-prime CRT basis.
+	primes := []*ring{s.rq, s.aux[0], s.aux[1]}
+	aRes := liftAll(a.C, s.q, primes)
+	bRes := liftAll(b.C, s.q, primes)
+
+	out := make([][]uint64, ka+kb-1)
+	// Accumulate residue products per prime, then reconstruct.
+	type resAcc [][]uint64 // per output component, per coeff
+	perPrime := make([]resAcc, len(primes))
+	for pi, r := range primes {
+		perPrime[pi] = make(resAcc, ka+kb-1)
+		for k := range perPrime[pi] {
+			perPrime[pi][k] = make([]uint64, s.P.N)
+		}
+		for i := 0; i < ka; i++ {
+			for j := 0; j < kb; j++ {
+				prod := r.polyMul(aRes[pi][i], bRes[pi][j])
+				dst := perPrime[pi][i+j]
+				for c := range prod {
+					dst[c] = addMod(dst[c], prod[c], r.q)
+				}
+			}
+		}
+	}
+	// CRT-reconstruct each coefficient exactly, center, scale by t/q.
+	tmp := new(big.Int)
+	for k := 0; k < ka+kb-1; k++ {
+		oc := make([]uint64, s.P.N)
+		for c := 0; c < s.P.N; c++ {
+			x := new(big.Int)
+			for pi := range primes {
+				tmp.SetUint64(perPrime[pi][k][c])
+				tmp.Mul(tmp, s.crtTerms[pi])
+				x.Add(x, tmp)
+			}
+			x.Mod(x, s.bigP)
+			if x.Cmp(s.halfP) > 0 {
+				x.Sub(x, s.bigP)
+			}
+			// round(t·x/q) mod q
+			x.Mul(x, s.bigT)
+			if x.Sign() >= 0 {
+				x.Add(x, s.halfQ)
+			} else {
+				x.Sub(x, s.halfQ)
+			}
+			x.Quo(x, s.bigQ)
+			x.Mod(x, s.bigQ)
+			oc[c] = x.Uint64()
+		}
+		out[k] = oc
+	}
+	return &Ciphertext{C: out}
+}
+
+// liftAll converts centered-mod-q components to residues in each prime.
+func liftAll(comps [][]uint64, q uint64, primes []*ring) [][][]uint64 {
+	out := make([][][]uint64, len(primes))
+	for pi, r := range primes {
+		out[pi] = make([][]uint64, len(comps))
+		qm := q % r.q
+		for i, c := range comps {
+			res := make([]uint64, len(c))
+			for j, v := range c {
+				rv := v % r.q
+				if v > q/2 { // centered negative: subtract q mod p
+					rv = subMod(rv, qm, r.q)
+				}
+				res[j] = rv
+			}
+			out[pi][i] = res
+		}
+	}
+	return out
+}
+
+// EncodeSlots packs signed slot values into a plaintext polynomial so
+// that homomorphic ops act slot-wise (batching: t ≡ 1 mod 2N makes the
+// plaintext ring split into N independent slots).
+func (s *Scheme) EncodeSlots(values []int64) ([]uint64, error) {
+	if len(values) > s.P.N {
+		return nil, fmt.Errorf("hebaseline: %d values exceed %d slots", len(values), s.P.N)
+	}
+	pt := make([]uint64, s.P.N)
+	half := int64(s.t / 2)
+	for i, v := range values {
+		if v > half || v < -half {
+			return nil, fmt.Errorf("hebaseline: slot value %d exceeds t/2=%d", v, half)
+		}
+		if v < 0 {
+			pt[i] = s.t - uint64(-v)
+		} else {
+			pt[i] = uint64(v)
+		}
+	}
+	s.rt.intt(pt)
+	return pt, nil
+}
+
+// DecodeSlots unpacks a plaintext polynomial into signed slot values.
+func (s *Scheme) DecodeSlots(pt []uint64) []int64 {
+	c := append([]uint64(nil), pt...)
+	s.rt.ntt(c)
+	out := make([]int64, len(c))
+	for i, v := range c {
+		if v > s.t/2 {
+			out[i] = -int64(s.t - v)
+		} else {
+			out[i] = int64(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package hebaseline
+
+import (
+	"fmt"
+	"time"
+)
+
+// CryptoNets-style homomorphic inference (the paper's [8]): every input
+// feature is one ciphertext whose N slots carry a batch of N samples;
+// weights are scaled integers applied with scalar multiplication; the
+// non-linearity is the square function (the only one HE can evaluate
+// natively); the per-batch cost is constant regardless of how many of the
+// N slots are occupied — which is exactly the behavioural contrast with
+// DeepSecure that Table 6 and Figure 6 measure.
+
+// SquareNet is a shallow square-activation network with integer weights.
+type SquareNet struct {
+	// Dims are the layer widths, Dims[0] = inputs.
+	Dims []int
+	// W[l][o][i] are integer weights of layer l.
+	W [][][]int64
+	// SquareAfter[l] applies x² after layer l.
+	SquareAfter []bool
+}
+
+// NewSquareNet allocates a zero network with the given layer widths.
+func NewSquareNet(dims []int) *SquareNet {
+	n := &SquareNet{Dims: dims, SquareAfter: make([]bool, len(dims)-1)}
+	for l := 0; l+1 < len(dims); l++ {
+		w := make([][]int64, dims[l+1])
+		for o := range w {
+			w[o] = make([]int64, dims[l])
+		}
+		n.W = append(n.W, w)
+	}
+	return n
+}
+
+// EvalPlain computes the network over plaintext integer inputs (the
+// reference the homomorphic path must match exactly).
+func (n *SquareNet) EvalPlain(x []int64) []int64 {
+	cur := x
+	for l, w := range n.W {
+		next := make([]int64, n.Dims[l+1])
+		for o := range next {
+			var acc int64
+			for i, v := range cur {
+				acc += w[o][i] * v
+			}
+			next[o] = acc
+		}
+		if n.SquareAfter[l] {
+			for i := range next {
+				next[i] *= next[i]
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// EvalHE computes the network homomorphically over one ciphertext per
+// input feature. Returns one ciphertext per output neuron.
+func (n *SquareNet) EvalHE(s *Scheme, in []*Ciphertext) ([]*Ciphertext, error) {
+	if len(in) != n.Dims[0] {
+		return nil, fmt.Errorf("hebaseline: %d input ciphertexts, want %d", len(in), n.Dims[0])
+	}
+	cur := in
+	for l, w := range n.W {
+		next := make([]*Ciphertext, n.Dims[l+1])
+		for o := range next {
+			var acc *Ciphertext
+			for i, ct := range cur {
+				if w[o][i] == 0 {
+					continue
+				}
+				term := s.MulScalar(ct, w[o][i])
+				if acc == nil {
+					acc = term
+				} else {
+					acc = s.Add(acc, term)
+				}
+			}
+			if acc == nil {
+				// All-zero row: encrypt-free zero ciphertext.
+				zero := make([][]uint64, 2)
+				zero[0] = make([]uint64, s.P.N)
+				zero[1] = make([]uint64, s.P.N)
+				acc = &Ciphertext{C: zero}
+			}
+			next[o] = acc
+		}
+		if n.SquareAfter[l] {
+			for i := range next {
+				next[i] = s.Mul(next[i], next[i])
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// OpCounts tallies the homomorphic operations one CryptoNets batch needs.
+type OpCounts struct {
+	Encrypts   int // one per input feature
+	ScalarMACs int // scalar multiply + accumulate
+	Squares    int // ciphertext-ciphertext multiplications
+	Decrypts   int // one per output neuron
+	// PlainPrimes is the CRT plaintext-modulus factor: the value range of
+	// deep integer networks exceeds one ~17-bit prime, so CryptoNets runs
+	// one ciphertext stream per plaintext prime and CRT-combines after
+	// decryption (the paper's [8] does the same with two ~40-bit primes).
+	PlainPrimes int
+}
+
+// Benchmark1Counts returns the op tally for the paper's benchmark-1
+// architecture (28×28-5C2-Square-100FC-Square-10FC): conv = 845 outputs
+// of 25 taps, then square, 100×845 dense, square, 10×100 dense.
+func Benchmark1Counts() OpCounts {
+	conv := 5 * 13 * 13
+	return OpCounts{
+		Encrypts:    28 * 28,
+		ScalarMACs:  conv*25 + 100*conv + 10*100,
+		Squares:     conv + 100,
+		Decrypts:    10,
+		PlainPrimes: 3,
+	}
+}
+
+// OpCosts are measured per-operation wall times.
+type OpCosts struct {
+	Encrypt   time.Duration
+	ScalarMAC time.Duration
+	Square    time.Duration
+	Decrypt   time.Duration
+	Slots     int
+}
+
+// MeasureOpCosts times each primitive on the scheme (averaged over iters).
+func MeasureOpCosts(s *Scheme, iters int) (OpCosts, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	sk, pk := s.KeyGen()
+	vals := make([]int64, s.Slots())
+	for i := range vals {
+		vals[i] = int64(i % 7)
+	}
+	pt, err := s.EncodeSlots(vals)
+	if err != nil {
+		return OpCosts{}, err
+	}
+
+	start := time.Now()
+	var ct *Ciphertext
+	for i := 0; i < iters; i++ {
+		ct, err = s.Encrypt(pk, pt)
+		if err != nil {
+			return OpCosts{}, err
+		}
+	}
+	encD := time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	acc := ct
+	for i := 0; i < iters; i++ {
+		acc = s.Add(acc, s.MulScalar(ct, 13))
+	}
+	macD := time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	var sq *Ciphertext
+	for i := 0; i < iters; i++ {
+		sq = s.Mul(ct, ct)
+	}
+	sqD := time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		s.Decrypt(sk, sq)
+	}
+	decD := time.Since(start) / time.Duration(iters)
+
+	return OpCosts{Encrypt: encD, ScalarMAC: macD, Square: sqD, Decrypt: decD, Slots: s.Slots()}, nil
+}
+
+// BatchSeconds composes measured op costs with an op tally into the
+// constant per-batch runtime (the CryptoNets cost model of Fig. 6).
+func BatchSeconds(counts OpCounts, costs OpCosts) float64 {
+	perPrime := float64(counts.Encrypts)*costs.Encrypt.Seconds() +
+		float64(counts.ScalarMACs)*costs.ScalarMAC.Seconds() +
+		float64(counts.Squares)*costs.Square.Seconds() +
+		float64(counts.Decrypts)*costs.Decrypt.Seconds()
+	return perPrime * float64(counts.PlainPrimes)
+}

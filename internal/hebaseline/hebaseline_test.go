@@ -1,0 +1,297 @@
+package hebaseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testScheme(t *testing.T) *Scheme {
+	t.Helper()
+	p := DefaultParams()
+	p.N = 256 // keep unit tests fast
+	s, err := NewScheme(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	s := testScheme(t)
+	rng := rand.New(rand.NewSource(1))
+	a := make([]uint64, s.P.N)
+	for i := range a {
+		a[i] = rng.Uint64() % s.q
+	}
+	b := append([]uint64(nil), a...)
+	s.rq.ntt(b)
+	s.rq.intt(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("NTT round trip broke at %d", i)
+		}
+	}
+}
+
+func TestPolyMulNegacyclic(t *testing.T) {
+	// (X^(N-1)) · X = X^N = -1 in the negacyclic ring.
+	s := testScheme(t)
+	a := make([]uint64, s.P.N)
+	b := make([]uint64, s.P.N)
+	a[s.P.N-1] = 1
+	b[1] = 1
+	c := s.rq.polyMul(a, b)
+	if c[0] != s.q-1 {
+		t.Fatalf("X^N != -1: c[0] = %d", c[0])
+	}
+	for i := 1; i < s.P.N; i++ {
+		if c[i] != 0 {
+			t.Fatalf("spurious coefficient at %d", i)
+		}
+	}
+}
+
+func TestPolyMulMatchesSchoolbook(t *testing.T) {
+	p := DefaultParams()
+	p.N = 16
+	s, err := NewScheme(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	a := make([]uint64, 16)
+	b := make([]uint64, 16)
+	for i := range a {
+		a[i] = rng.Uint64() % s.q
+		b[i] = rng.Uint64() % s.q
+	}
+	got := s.rq.polyMul(a, b)
+	want := make([]uint64, 16)
+	for i := range a {
+		for j := range b {
+			prod := mulMod(a[i], b[j], s.q)
+			k := i + j
+			if k >= 16 { // X^N = -1
+				k -= 16
+				want[k] = subMod(want[k], prod, s.q)
+			} else {
+				want[k] = addMod(want[k], prod, s.q)
+			}
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("polymul mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := testScheme(t)
+	sk, pk := s.KeyGen()
+	vals := make([]int64, s.Slots())
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(2000) - 1000)
+	}
+	pt, err := s.EncodeSlots(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s.Encrypt(pk, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget := s.NoiseBudget(sk, ct, pt); budget < 10 {
+		t.Errorf("fresh ciphertext budget only %.1f bits", budget)
+	}
+	got := s.DecodeSlots(s.Decrypt(sk, ct))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slot %d: %d vs %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestHomomorphicAddAndScalar(t *testing.T) {
+	s := testScheme(t)
+	sk, pk := s.KeyGen()
+	a := []int64{1, -2, 30, 400}
+	b := []int64{5, 6, -7, 8}
+	pa, _ := s.EncodeSlots(a)
+	pb, _ := s.EncodeSlots(b)
+	ca, err := s.Encrypt(pk, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := s.Encrypt(pk, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.DecodeSlots(s.Decrypt(sk, s.Add(ca, cb)))
+	for i := range a {
+		if sum[i] != a[i]+b[i] {
+			t.Fatalf("add slot %d: %d vs %d", i, sum[i], a[i]+b[i])
+		}
+	}
+	scaled := s.DecodeSlots(s.Decrypt(sk, s.MulScalar(ca, -3)))
+	for i := range a {
+		if scaled[i] != -3*a[i] {
+			t.Fatalf("scalar slot %d: %d vs %d", i, scaled[i], -3*a[i])
+		}
+	}
+}
+
+func TestHomomorphicMulSlotwise(t *testing.T) {
+	s := testScheme(t)
+	sk, pk := s.KeyGen()
+	a := []int64{2, -3, 10, 7}
+	b := []int64{5, 4, -6, 7}
+	pa, _ := s.EncodeSlots(a)
+	pb, _ := s.EncodeSlots(b)
+	ca, err := s.Encrypt(pk, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := s.Encrypt(pk, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := s.Mul(ca, cb)
+	if prod.Degree() != 3 {
+		t.Fatalf("product degree = %d, want 3 (no relinearization)", prod.Degree())
+	}
+	got := s.DecodeSlots(s.Decrypt(sk, prod))
+	for i := range a {
+		if got[i] != a[i]*b[i] {
+			t.Fatalf("mul slot %d: %d vs %d", i, got[i], a[i]*b[i])
+		}
+	}
+}
+
+func TestMulPlainSlotwise(t *testing.T) {
+	s := testScheme(t)
+	sk, pk := s.KeyGen()
+	a := []int64{2, -3, 10, 7}
+	w := []int64{3, 3, -2, 1}
+	pa, _ := s.EncodeSlots(a)
+	pw, _ := s.EncodeSlots(w)
+	ca, err := s.Encrypt(pk, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.DecodeSlots(s.Decrypt(sk, s.MulPlain(ca, pw)))
+	for i := range a {
+		if got[i] != a[i]*w[i] {
+			t.Fatalf("mulplain slot %d: %d vs %d", i, got[i], a[i]*w[i])
+		}
+	}
+}
+
+func TestSquareNetHEMatchesPlain(t *testing.T) {
+	// A CryptoNets-shaped (dense → square → dense) network evaluated
+	// homomorphically must decrypt to the plaintext reference for every
+	// batched sample.
+	s := testScheme(t)
+	sk, pk := s.KeyGen()
+	net := NewSquareNet([]int{4, 3, 2})
+	net.SquareAfter[0] = true
+	rng := rand.New(rand.NewSource(4))
+	for l := range net.W {
+		for o := range net.W[l] {
+			for i := range net.W[l][o] {
+				net.W[l][o][i] = int64(rng.Intn(7) - 3)
+			}
+		}
+	}
+
+	batch := 8
+	samples := make([][]int64, batch)
+	for b := range samples {
+		samples[b] = make([]int64, 4)
+		for i := range samples[b] {
+			samples[b][i] = int64(rng.Intn(9) - 4)
+		}
+	}
+
+	// One ciphertext per feature; slot b carries sample b.
+	in := make([]*Ciphertext, 4)
+	for i := 0; i < 4; i++ {
+		vals := make([]int64, s.Slots())
+		for b := range samples {
+			vals[b] = samples[b][i]
+		}
+		pt, err := s.EncodeSlots(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[i], err = s.Encrypt(pk, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := net.EvalHE(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, ct := range out {
+		got := s.DecodeSlots(s.Decrypt(sk, ct))
+		for b := range samples {
+			want := net.EvalPlain(samples[b])[o]
+			if got[b] != want {
+				t.Fatalf("sample %d output %d: HE %d vs plain %d", b, o, got[b], want)
+			}
+		}
+	}
+}
+
+func TestBenchmark1CountsShape(t *testing.T) {
+	c := Benchmark1Counts()
+	if c.Encrypts != 784 || c.Decrypts != 10 {
+		t.Errorf("encrypts/decrypts = %d/%d", c.Encrypts, c.Decrypts)
+	}
+	if c.Squares != 845+100 {
+		t.Errorf("squares = %d", c.Squares)
+	}
+	if c.ScalarMACs != 845*25+100*845+10*100 {
+		t.Errorf("macs = %d", c.ScalarMACs)
+	}
+}
+
+func TestMeasureAndCompose(t *testing.T) {
+	s := testScheme(t)
+	costs, err := MeasureOpCosts(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.Square <= 0 || costs.Encrypt <= 0 {
+		t.Fatalf("non-positive op costs: %+v", costs)
+	}
+	if costs.Square < costs.ScalarMAC {
+		t.Errorf("square (%v) should dominate a scalar MAC (%v)", costs.Square, costs.ScalarMAC)
+	}
+	batch := BatchSeconds(Benchmark1Counts(), costs)
+	if batch <= 0 {
+		t.Errorf("batch cost %g", batch)
+	}
+	t.Logf("B1 batch cost at N=%d: %.1fs", costs.Slots, batch)
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.EncodeSlots([]int64{int64(s.T())}); err == nil {
+		t.Error("slot overflow accepted")
+	}
+	if _, err := s.EncodeSlots(make([]int64, s.Slots()+1)); err == nil {
+		t.Error("too many slots accepted")
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	if _, err := NewScheme(Params{N: 100, QBits: 60, TBits: 17, B: 3}); err == nil {
+		t.Error("non-power-of-two N accepted")
+	}
+	if _, err := NewScheme(Params{N: 256, QBits: 63, TBits: 17, B: 3}); err == nil {
+		t.Error("oversized QBits accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package hebaseline implements the homomorphic-encryption baseline that
+// DeepSecure is compared against (paper §4.7, CryptoNets [8]): a
+// from-scratch BFV-style leveled scheme over Z_q[X]/(X^N+1) with
+// negacyclic NTT multiplication, SIMD slot batching over a prime
+// plaintext modulus, scalar (weight) multiplication, and ciphertext-
+// ciphertext multiplication for the square activations. Parameters are
+// intentionally textbook (single ciphertext modulus, no relinearization —
+// ciphertexts grow by one component per multiplication), which supports
+// the shallow square-activation networks CryptoNets uses while keeping
+// the implementation auditable.
+package hebaseline
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// ring performs negacyclic NTT arithmetic modulo a prime q ≡ 1 (mod 2N).
+type ring struct {
+	n      int
+	q      uint64
+	psiRev []uint64 // ψ^i, bit-reversed order
+	invRev []uint64 // ψ^-i, bit-reversed order
+	nInv   uint64
+}
+
+func addMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q || s < a {
+		s -= q
+	}
+	return s
+}
+
+func subMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+// mulMod computes a·b mod q for q < 2^62.
+func mulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, q)
+	return rem
+}
+
+func powMod(base, exp, q uint64) uint64 {
+	result := uint64(1)
+	base %= q
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, q)
+		}
+		base = mulMod(base, base, q)
+		exp >>= 1
+	}
+	return result
+}
+
+// findPrime returns the largest prime p ≤ start with p ≡ 1 (mod 2N).
+func findPrime(start uint64, n int) (uint64, error) {
+	m := uint64(2 * n)
+	p := start - (start-1)%m // p ≡ 1 mod 2N
+	for ; p > m; p -= m {
+		if big.NewInt(0).SetUint64(p).ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("hebaseline: no NTT prime below %d for N=%d", start, n)
+}
+
+// primitiveRoot finds a primitive 2N-th root of unity ψ mod q.
+func primitiveRoot(q uint64, n int) (uint64, error) {
+	m := uint64(2 * n)
+	for g := uint64(2); g < 1000; g++ {
+		psi := powMod(g, (q-1)/m, q)
+		if psi == 1 {
+			continue
+		}
+		// ψ is a primitive 2N-th root iff ψ^N = -1.
+		if powMod(psi, uint64(n), q) == q-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("hebaseline: no primitive root found for q=%d", q)
+}
+
+func bitrev(x, bitsN int) int {
+	r := 0
+	for i := 0; i < bitsN; i++ {
+		r = r<<1 | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// newRing constructs the NTT ring for size n (power of two) and prime q.
+func newRing(n int, q uint64) (*ring, error) {
+	if n&(n-1) != 0 || n < 2 {
+		return nil, fmt.Errorf("hebaseline: ring size %d not a power of two", n)
+	}
+	psi, err := primitiveRoot(q, n)
+	if err != nil {
+		return nil, err
+	}
+	logN := bits.TrailingZeros(uint(n))
+	r := &ring{n: n, q: q}
+	r.psiRev = make([]uint64, n)
+	r.invRev = make([]uint64, n)
+	psiInv := powMod(psi, q-2, q) // ψ^{-1} by Fermat
+	p, pi := uint64(1), uint64(1)
+	pow := make([]uint64, n)
+	powInv := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pow[i], powInv[i] = p, pi
+		p = mulMod(p, psi, q)
+		pi = mulMod(pi, psiInv, q)
+	}
+	for i := 0; i < n; i++ {
+		r.psiRev[i] = pow[bitrev(i, logN)]
+		r.invRev[i] = powInv[bitrev(i, logN)]
+	}
+	r.nInv = powMod(uint64(n), q-2, q)
+	return r, nil
+}
+
+// ntt transforms a into the negacyclic NTT domain in place.
+func (r *ring) ntt(a []uint64) {
+	n, q := r.n, r.q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			s := r.psiRev[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := mulMod(a[j+t], s, q)
+				a[j] = addMod(u, v, q)
+				a[j+t] = subMod(u, v, q)
+			}
+		}
+	}
+}
+
+// intt transforms back to the coefficient domain in place.
+func (r *ring) intt(a []uint64) {
+	n, q := r.n, r.q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			s := r.invRev[h+i]
+			for j := j1; j < j1+t; j++ {
+				u, v := a[j], a[j+t]
+				a[j] = addMod(u, v, q)
+				a[j+t] = mulMod(subMod(u, v, q), s, q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = mulMod(a[i], r.nInv, q)
+	}
+}
+
+// polyMul returns a ⊛ b in Z_q[X]/(X^N+1) (inputs untouched).
+func (r *ring) polyMul(a, b []uint64) []uint64 {
+	ca := append([]uint64(nil), a...)
+	cb := append([]uint64(nil), b...)
+	r.ntt(ca)
+	r.ntt(cb)
+	for i := range ca {
+		ca[i] = mulMod(ca[i], cb[i], r.q)
+	}
+	r.intt(ca)
+	return ca
+}

@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 3, 5)
+	tt := m.T().T()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("T().T() != identity")
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		m := randMat(rng, n, n)
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(n))
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := m.Mul(inv)
+		id := Identity(n)
+		if d := prod.Sub(id).FrobNorm(); d > 1e-9 {
+			t.Errorf("trial %d: ‖M·M⁻¹ - I‖ = %g", trial, d)
+		}
+	}
+}
+
+func TestSingularInverseFails(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); err == nil {
+		t.Error("singular matrix inverted")
+	}
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Error("non-square matrix inverted")
+	}
+}
+
+func TestProjectorProperties(t *testing.T) {
+	// Proposition 3.1: W = D(DᵀD)⁻¹Dᵀ is the orthogonal projector onto
+	// col(D): symmetric, idempotent, fixes columns of D.
+	rng := rand.New(rand.NewSource(3))
+	d := randMat(rng, 8, 3)
+	w, err := Projector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric.
+	if diff := w.Sub(w.T()).FrobNorm(); diff > 1e-9 {
+		t.Errorf("W not symmetric: %g", diff)
+	}
+	// Idempotent: W² = W.
+	if diff := w.Mul(w).Sub(w).FrobNorm(); diff > 1e-9 {
+		t.Errorf("W not idempotent: %g", diff)
+	}
+	// Fixes col(D): W·D = D.
+	if diff := w.Mul(d).Sub(d).FrobNorm(); diff > 1e-9 {
+		t.Errorf("W·D ≠ D: %g", diff)
+	}
+	// Annihilates the orthogonal complement: for random v, Wv ∈ col(D)
+	// means W(Wv) = Wv (already covered by idempotency).
+}
+
+func TestProjectorEqualsUUT(t *testing.T) {
+	// The paper's security argument: W = UUᵀ for an orthonormal basis U
+	// of col(D). Check numerically.
+	rng := rand.New(rand.NewSource(4))
+	d := randMat(rng, 10, 4)
+	w, err := Projector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Orthonormalize(d)
+	uut := u.Mul(u.T())
+	if diff := w.Sub(uut).FrobNorm(); diff > 1e-8 {
+		t.Errorf("W ≠ UUᵀ: %g", diff)
+	}
+}
+
+func TestPInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randMat(rng, 7, 3)
+	p, err := PInv(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left inverse: D⁺·D = I.
+	if diff := p.Mul(d).Sub(Identity(3)).FrobNorm(); diff > 1e-9 {
+		t.Errorf("D⁺D ≠ I: %g", diff)
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := randMat(rng, 6, 3)
+	u := Orthonormalize(d)
+	if u.Cols != 3 {
+		t.Fatalf("rank lost: %d cols", u.Cols)
+	}
+	utu := u.T().Mul(u)
+	if diff := utu.Sub(Identity(3)).FrobNorm(); diff > 1e-9 {
+		t.Errorf("UᵀU ≠ I: %g", diff)
+	}
+	// Dependent columns get dropped.
+	dup := New(6, 4)
+	for j := 0; j < 3; j++ {
+		dup.SetCol(j, d.Col(j))
+	}
+	dup.SetCol(3, d.Col(0)) // duplicate
+	u2 := Orthonormalize(dup)
+	if u2.Cols != 3 {
+		t.Errorf("duplicate column not dropped: %d cols", u2.Cols)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := m.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestColSetColClone(t *testing.T) {
+	m := New(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	c := m.Col(1)
+	if c[0] != 1 || c[2] != 3 {
+		t.Errorf("Col = %v", c)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases data")
+	}
+}
+
+func TestDotNormPanics(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{1, 2}) != 5 {
+		t.Error("Dot wrong")
+	}
+	if math.Abs(Norm([]float64{3, 4})-5) > 1e-12 {
+		t.Error("Norm wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

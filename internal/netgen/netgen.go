@@ -1,0 +1,352 @@
+// Package netgen turns a neural network into a GC netlist (paper §3.1
+// step "GC netlist generation" and the modular layer structure of §3.6).
+//
+// Generation is deterministic given the public model Spec (architecture +
+// sparsity maps + fixed-point format): the client and the server each run
+// Generate against their own builder/sink and traverse byte-identical gate
+// streams, which is what lets the garbler and evaluator operate in
+// lockstep without ever exchanging the netlist itself.
+//
+// The generator emits Drop/scope events so that, with a recycling builder,
+// the live wire set stays proportional to the widest layer rather than the
+// total gate count — the sequential-circuit memory footprint of §3.5.
+// Pruned (masked) weights are skipped entirely: no input wire, no
+// multiplier, no adder (§3.2.2's sparsity savings).
+package netgen
+
+import (
+	"fmt"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/stdcell"
+)
+
+// Options configures netlist generation.
+type Options struct {
+	// Outsourced prepends the XOR-share recombination layer (§3.3): the
+	// garbler (proxy) holds share s, the evaluator (main server) holds
+	// x ⊕ s, and one layer of free XOR gates reconstructs x in-circuit.
+	Outsourced bool
+	// RawScores outputs the final-layer score words instead of the argmax
+	// label index (used by tests to compare against ForwardFixed).
+	RawScores bool
+}
+
+// Layout reports the input/output wire accounting of a generated netlist,
+// in protocol order.
+type Layout struct {
+	DataBits   int // garbler inputs: the (projected) data sample — or the proxy's share when outsourced
+	ShareBits  int // evaluator inputs before weights: x⊕s share (outsourced mode only)
+	WeightBits int // evaluator inputs: quantized active weights + biases
+	OutputBits int
+}
+
+// Generate walks the network and emits the complete inference netlist.
+// Weight VALUES are never consulted — only shapes and masks — so a
+// spec-built weightless network generates the identical netlist.
+func Generate(b *circuit.Builder, net *nn.Network, f fixed.Format, opt Options) (*Layout, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	lay := &Layout{}
+	bits := f.Bits()
+	n := net.In.Len()
+
+	// Input declaration (+ share recombination when outsourced).
+	var x []stdcell.Word
+	if opt.Outsourced {
+		s := inputWords(b, circuit.Garbler, n, bits)
+		tw := inputWords(b, circuit.Evaluator, n, bits)
+		lay.DataBits = n * bits
+		lay.ShareBits = n * bits
+		x = make([]stdcell.Word, n)
+		for i := 0; i < n; i++ {
+			x[i] = make(stdcell.Word, bits)
+			for k := 0; k < bits; k++ {
+				x[i][k] = b.XOR(s[i][k], tw[i][k])
+			}
+		}
+		dropWords(b, s)
+		dropWords(b, tw)
+	} else {
+		x = inputWords(b, circuit.Garbler, n, bits)
+		lay.DataBits = n * bits
+	}
+
+	for li, layer := range net.Layers {
+		var err error
+		switch v := layer.(type) {
+		case *nn.Dense:
+			x, err = genDense(b, v, x, f, lay)
+		case *nn.Conv2D:
+			x, err = genConv(b, v, net, li, x, f, lay)
+		case *nn.Activation:
+			x, err = genAct(b, v, x, f)
+		case *nn.MaxPool2D:
+			x, err = genMaxPool(b, v, net, li, x)
+		case *nn.MeanPool2D:
+			x, err = genMeanPool(b, v, net, li, x)
+		default:
+			err = fmt.Errorf("netgen: unsupported layer type %T", layer)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netgen: layer %d (%s): %w", li, layer.Name(), err)
+		}
+		if err := b.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	if opt.RawScores {
+		for _, w := range x {
+			b.Outputs(w...)
+			lay.OutputBits += len(w)
+		}
+	} else {
+		// The paper's Softmax realization (§4.2): Softmax is monotonic,
+		// so the label is the argmax of the scores — a CMP/MUX chain.
+		b.BeginScope()
+		idx := stdcell.ArgMax(b, x)
+		b.EndScope(idx...)
+		dropWords(b, x)
+		b.Outputs(idx...)
+		lay.OutputBits = len(idx)
+	}
+	return lay, b.Err()
+}
+
+func inputWords(b *circuit.Builder, p circuit.Party, n, bits int) []stdcell.Word {
+	flat := b.Inputs(p, n*bits)
+	out := make([]stdcell.Word, n)
+	for i := 0; i < n; i++ {
+		out[i] = stdcell.Word(flat[i*bits : (i+1)*bits])
+	}
+	return out
+}
+
+func dropWords(b *circuit.Builder, ws []stdcell.Word) {
+	for _, w := range ws {
+		b.Drop(w...)
+	}
+}
+
+// declareParams declares the layer's evaluator-input wires in the
+// canonical nn.WeightBits order: active weights flat, then biases.
+func declareParams(b *circuit.Builder, p nn.ParamLayer, bits int, lay *Layout) (weights map[int]stdcell.Word, biases []stdcell.Word) {
+	_, mask := p.Weights()
+	nw := p.ActiveWeights()
+	nb := len(p.Biases())
+	flat := b.Inputs(circuit.Evaluator, (nw+nb)*bits)
+	lay.WeightBits += (nw + nb) * bits
+	weights = make(map[int]stdcell.Word, nw)
+	cursor := 0
+	for i, m := range mask {
+		if !m {
+			continue
+		}
+		weights[i] = stdcell.Word(flat[cursor : cursor+bits])
+		cursor += bits
+	}
+	biases = make([]stdcell.Word, nb)
+	for o := 0; o < nb; o++ {
+		biases[o] = stdcell.Word(flat[cursor : cursor+bits])
+		cursor += bits
+	}
+	return weights, biases
+}
+
+// mac folds one multiply-accumulate into acc inside a scope, then retires
+// the previous accumulator and the consumed weight word.
+func mac(b *circuit.Builder, acc, x, w stdcell.Word, frac int, dropWeight bool) stdcell.Word {
+	b.BeginScope()
+	p := stdcell.MulFixed(b, x, w, frac)
+	next := stdcell.Add(b, acc, p)
+	b.EndScope(next...)
+	b.Drop(acc...)
+	if dropWeight {
+		b.Drop(w...)
+	}
+	return next
+}
+
+func genDense(b *circuit.Builder, d *nn.Dense, x []stdcell.Word, f fixed.Format, lay *Layout) ([]stdcell.Word, error) {
+	if len(x) != d.InN {
+		return nil, fmt.Errorf("dense: got %d inputs, want %d", len(x), d.InN)
+	}
+	weights, biases := declareParams(b, d, f.Bits(), lay)
+	out := make([]stdcell.Word, d.OutN)
+	_, mask := d.Weights()
+	for o := 0; o < d.OutN; o++ {
+		acc := biases[o]
+		for i := 0; i < d.InN; i++ {
+			wi := o*d.InN + i
+			if !mask[wi] {
+				continue
+			}
+			acc = mac(b, acc, x[i], weights[wi], f.FracBits, true)
+		}
+		out[o] = acc
+	}
+	dropWords(b, x)
+	return out, nil
+}
+
+func genConv(b *circuit.Builder, c *nn.Conv2D, net *nn.Network, li int, x []stdcell.Word, f fixed.Format, lay *Layout) ([]stdcell.Word, error) {
+	in := net.In
+	if li > 0 {
+		in = net.ShapeAt(li - 1)
+	}
+	outShape := net.ShapeAt(li)
+	if len(x) != in.Len() {
+		return nil, fmt.Errorf("conv: got %d inputs, want %d", len(x), in.Len())
+	}
+	weights, biases := declareParams(b, c, f.Bits(), lay)
+	_, mask := c.Weights()
+	out := make([]stdcell.Word, outShape.Len())
+	wIdx := func(oc, ic, ky, kx int) int { return ((oc*in.C+ic)*c.K+ky)*c.K + kx }
+	inIdx := func(ic, y, xx int) int { return (ic*in.H+y)*in.W + xx }
+	biasEscaped := make([]bool, len(biases))
+	o := 0
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < outShape.H; oy++ {
+			for ox := 0; ox < outShape.W; ox++ {
+				acc := biases[oc].Clone()
+				first := true
+				for ic := 0; ic < in.C; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							wi := wIdx(oc, ic, ky, kx)
+							if !mask[wi] {
+								continue
+							}
+							b.BeginScope()
+							p := stdcell.MulFixed(b, x[inIdx(ic, iy, ix)], weights[wi], f.FracBits)
+							next := stdcell.Add(b, acc, p)
+							b.EndScope(next...)
+							if !first {
+								b.Drop(acc...) // bias words are shared across positions
+							}
+							first = false
+							acc = next
+						}
+					}
+				}
+				if first {
+					// No active tap in this window: the output IS the
+					// bias word, which must then outlive the layer.
+					biasEscaped[oc] = true
+				}
+				out[o] = acc
+				o++
+			}
+		}
+	}
+	// Conv weights and biases are reused across positions: retire at end
+	// (except bias words that escaped as outputs).
+	for _, w := range weights {
+		b.Drop(w...)
+	}
+	for i, bw := range biases {
+		if !biasEscaped[i] {
+			b.Drop(bw...)
+		}
+	}
+	dropWords(b, x)
+	return out, nil
+}
+
+func genAct(b *circuit.Builder, a *nn.Activation, x []stdcell.Word, f fixed.Format) ([]stdcell.Word, error) {
+	if a.Kind == act.Identity {
+		return x, nil
+	}
+	impl := a.Impl(f)
+	out := make([]stdcell.Word, len(x))
+	for i, w := range x {
+		b.BeginScope()
+		y := impl.Circuit(b, w)
+		b.EndScope(y...)
+		b.Drop(w...)
+		out[i] = y
+	}
+	return out, nil
+}
+
+func genMaxPool(b *circuit.Builder, p *nn.MaxPool2D, net *nn.Network, li int, x []stdcell.Word) ([]stdcell.Word, error) {
+	in := net.In
+	if li > 0 {
+		in = net.ShapeAt(li - 1)
+	}
+	outShape := net.ShapeAt(li)
+	out := make([]stdcell.Word, 0, outShape.Len())
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < outShape.H; oy++ {
+			for ox := 0; ox < outShape.W; ox++ {
+				var window []stdcell.Word
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						iy := oy*p.Stride + ky
+						ix := ox*p.Stride + kx
+						window = append(window, x[(c*in.H+iy)*in.W+ix])
+					}
+				}
+				b.BeginScope()
+				m := stdcell.MaxPool(b, window)
+				b.EndScope(m...)
+				out = append(out, m)
+			}
+		}
+	}
+	dropWords(b, x)
+	return out, nil
+}
+
+func genMeanPool(b *circuit.Builder, p *nn.MeanPool2D, net *nn.Network, li int, x []stdcell.Word) ([]stdcell.Word, error) {
+	in := net.In
+	if li > 0 {
+		in = net.ShapeAt(li - 1)
+	}
+	outShape := net.ShapeAt(li)
+	out := make([]stdcell.Word, 0, outShape.Len())
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < outShape.H; oy++ {
+			for ox := 0; ox < outShape.W; ox++ {
+				var window []stdcell.Word
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						iy := oy*p.K + ky
+						ix := ox*p.K + kx
+						window = append(window, x[(c*in.H+iy)*in.W+ix])
+					}
+				}
+				b.BeginScope()
+				m := stdcell.MeanPool(b, window)
+				b.EndScope(m...)
+				out = append(out, m)
+			}
+		}
+	}
+	dropWords(b, x)
+	return out, nil
+}
+
+// Count returns the gate statistics of the network's netlist without
+// materializing it — how the paper-scale Table 4/5 rows are produced.
+func Count(net *nn.Network, f fixed.Format, opt Options) (circuit.Stats, *Layout, error) {
+	b := circuit.NewBuilder(circuit.Counter{}, circuit.WithRecycling())
+	lay, err := Generate(b, net, f, opt)
+	if err != nil {
+		return circuit.Stats{}, nil, err
+	}
+	return b.Stats(), lay, nil
+}

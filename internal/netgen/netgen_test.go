@@ -1,0 +1,394 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+)
+
+func smallDenseNet(t *testing.T, kind act.Kind) *nn.Network {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Vec(4),
+		nn.NewDense(3),
+		nn.NewActivation(kind),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(1)))
+	return net
+}
+
+func smallConvNet(t *testing.T) *nn.Network {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Shape{C: 1, H: 6, W: 6},
+		nn.NewConv2D(2, 3, 1, 1),
+		nn.NewActivation(act.ReLU),
+		nn.NewMaxPool2D(2, 0),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(2)))
+	return net
+}
+
+func meanPoolNet(t *testing.T) *nn.Network {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Shape{C: 1, H: 4, W: 4},
+		nn.NewConv2D(2, 3, 1, 1),
+		nn.NewMeanPool2D(2),
+		nn.NewDense(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(3)))
+	return net
+}
+
+// buildNetlist materializes the network's netlist for plaintext testing.
+func buildNetlist(t *testing.T, net *nn.Network, f fixed.Format, opt Options) (*circuit.Circuit, *Layout) {
+	t.Helper()
+	g := circuit.NewGraph()
+	b := circuit.NewBuilder(g, circuit.WithSharing())
+	lay, err := Generate(b, net, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Circuit(), lay
+}
+
+func bitsOf(f fixed.Format, xs []float64) []bool {
+	var out []bool
+	for _, x := range xs {
+		out = append(out, f.FromFloatSat(x).Bits()...)
+	}
+	return out
+}
+
+func wordsFromBits(t *testing.T, f fixed.Format, bits []bool) []fixed.Num {
+	t.Helper()
+	n := f.Bits()
+	out := make([]fixed.Num, len(bits)/n)
+	for i := range out {
+		v, err := f.FromBits(bits[i*n : (i+1)*n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestNetlistMatchesForwardFixedDense(t *testing.T) {
+	f := fixed.Default
+	for _, kind := range []act.Kind{act.ReLU, act.TanhPL, act.SigmoidPLAN, act.TanhCORDIC} {
+		net := smallDenseNet(t, kind)
+		c, lay := buildNetlist(t, net, f, Options{RawScores: true})
+		if lay.WeightBits != nn.WeightBitCount(net, f) {
+			t.Fatalf("%v: layout weight bits %d != canonical %d", kind, lay.WeightBits, nn.WeightBitCount(net, f))
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 10; trial++ {
+			x := make([]float64, 4)
+			for i := range x {
+				x[i] = rng.Float64()*2 - 1
+			}
+			got, err := c.Eval(bitsOf(f, x), boolWeights(net, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := net.ForwardFixed(f, f.Vec(x))
+			gotN := wordsFromBits(t, f, got)
+			for i := range want {
+				if gotN[i].Raw() != want[i].Raw() {
+					t.Fatalf("%v trial %d out %d: circuit %d vs software %d",
+						kind, trial, i, gotN[i].Raw(), want[i].Raw())
+				}
+			}
+		}
+	}
+}
+
+func boolWeights(net *nn.Network, f fixed.Format) []bool {
+	return nn.WeightBits(net, f)
+}
+
+func TestNetlistMatchesForwardFixedConv(t *testing.T) {
+	f := fixed.Default
+	for _, net := range []*nn.Network{smallConvNet(t), meanPoolNet(t)} {
+		c, _ := buildNetlist(t, net, f, Options{RawScores: true})
+		rng := rand.New(rand.NewSource(8))
+		x := make([]float64, net.In.Len())
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		got, err := c.Eval(bitsOf(f, x), boolWeights(net, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := net.ForwardFixed(f, f.Vec(x))
+		gotN := wordsFromBits(t, f, got)
+		for i := range want {
+			if gotN[i].Raw() != want[i].Raw() {
+				t.Fatalf("%s out %d: circuit %d vs software %d", net.Arch(), i, gotN[i].Raw(), want[i].Raw())
+			}
+		}
+	}
+}
+
+func TestArgmaxOutputMatchesPredictFixed(t *testing.T) {
+	f := fixed.Default
+	net := smallDenseNet(t, act.ReLU)
+	c, lay := buildNetlist(t, net, f, Options{})
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		got, err := c.Eval(bitsOf(f, x), boolWeights(net, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != lay.OutputBits {
+			t.Fatalf("got %d output bits, layout says %d", len(got), lay.OutputBits)
+		}
+		idx := 0
+		for i, bit := range got {
+			if bit {
+				idx |= 1 << uint(i)
+			}
+		}
+		if want := net.PredictFixed(f, x); idx != want {
+			t.Fatalf("trial %d: circuit label %d, software label %d", trial, idx, want)
+		}
+	}
+}
+
+func TestOutsourcedSharesReconstruct(t *testing.T) {
+	f := fixed.Default
+	net := smallDenseNet(t, act.ReLU)
+	c, lay := buildNetlist(t, net, f, Options{Outsourced: true})
+	if lay.ShareBits != lay.DataBits {
+		t.Fatalf("share bits %d != data bits %d", lay.ShareBits, lay.DataBits)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		xb := bitsOf(f, x)
+		// XOR-share the input (§3.3): s random, t = x ⊕ s.
+		s := make([]bool, len(xb))
+		tt := make([]bool, len(xb))
+		for i := range xb {
+			s[i] = rng.Intn(2) == 1
+			tt[i] = xb[i] != s[i]
+		}
+		evalIn := append(append([]bool{}, tt...), boolWeights(net, f)...)
+		got, err := c.Eval(s, evalIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := 0
+		for i, bit := range got {
+			if bit {
+				idx |= 1 << uint(i)
+			}
+		}
+		if want := net.PredictFixed(f, x); idx != want {
+			t.Fatalf("outsourced trial %d: label %d, want %d", trial, idx, want)
+		}
+	}
+}
+
+func TestOutsourcingOverheadIsFree(t *testing.T) {
+	// §3.3: the share-recombination layer adds only XOR gates — the
+	// non-XOR count must be identical with and without outsourcing.
+	f := fixed.Default
+	net := smallDenseNet(t, act.ReLU)
+	plain, _, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err := Count(net, f, Options{Outsourced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs.AND != plain.AND {
+		t.Errorf("outsourcing changed non-XOR count: %d vs %d", outs.AND, plain.AND)
+	}
+	if outs.XOR <= plain.XOR {
+		t.Errorf("outsourcing should add XOR gates: %d vs %d", outs.XOR, plain.XOR)
+	}
+}
+
+func TestCountMatchesMaterialized(t *testing.T) {
+	f := fixed.Default
+	net := smallConvNet(t)
+	// Materialize WITHOUT sharing so gate counts are comparable to the
+	// streaming count (hash-consing would legitimately reduce them).
+	g := circuit.NewGraph()
+	b := circuit.NewBuilder(g)
+	if _, err := Generate(b, net, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mat := g.Circuit().Stats()
+	cnt, _, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.AND != cnt.AND || mat.XOR != cnt.XOR {
+		t.Errorf("count %v vs materialized %v", cnt, mat)
+	}
+}
+
+func TestStreamingMemoryBounded(t *testing.T) {
+	// The recycling builder must keep the live wire set orders of
+	// magnitude below the total wire count (§3.5).
+	f := fixed.Default
+	net := smallConvNet(t)
+	cnt, _, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.MaxLive <= 0 {
+		t.Fatal("MaxLive not tracked")
+	}
+	if cnt.MaxLive > cnt.Total()/4 {
+		t.Errorf("streaming live set %d vs %d total gates — not bounded", cnt.MaxLive, cnt.Total())
+	}
+}
+
+func TestPruningReducesGatesAndWeights(t *testing.T) {
+	f := fixed.Default
+	net := smallDenseNet(t, act.ReLU)
+	before, layBefore, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prune half of the first layer.
+	d := net.Layers[0].(*nn.Dense)
+	for i := 0; i < len(d.Mask); i += 2 {
+		d.Mask[i] = false
+	}
+	after, layAfter, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.AND >= before.AND {
+		t.Errorf("pruning did not reduce non-XOR: %d vs %d", after.AND, before.AND)
+	}
+	if layAfter.WeightBits >= layBefore.WeightBits {
+		t.Errorf("pruning did not reduce weight bits: %d vs %d", layAfter.WeightBits, layBefore.WeightBits)
+	}
+}
+
+func TestSpecBuiltNetGeneratesIdenticalNetlist(t *testing.T) {
+	// The client generates from the weightless spec; the server from the
+	// real network. The netlists must agree gate-for-gate.
+	f := fixed.Default
+	net := smallConvNet(t)
+	d := net.Layers[3].(*nn.Dense)
+	d.Mask[1] = false // include a sparsity map in the spec
+
+	spec := net.Spec(f)
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := nn.UnmarshalSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientNet, err := spec2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gServer := circuit.NewGraph()
+	if _, err := Generate(circuit.NewBuilder(gServer), net, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gClient := circuit.NewGraph()
+	if _, err := Generate(circuit.NewBuilder(gClient), clientNet, f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cs, cc := gServer.Circuit(), gClient.Circuit()
+	if len(cs.Gates) != len(cc.Gates) {
+		t.Fatalf("gate counts differ: %d vs %d", len(cs.Gates), len(cc.Gates))
+	}
+	for i := range cs.Gates {
+		if cs.Gates[i] != cc.Gates[i] {
+			t.Fatalf("gate %d differs: %+v vs %+v", i, cs.Gates[i], cc.Gates[i])
+		}
+	}
+}
+
+func TestPaperMVMScalingShape(t *testing.T) {
+	// Table 3 last row: MVM gate count scales ~linearly in m·n.
+	f := fixed.Default
+	count := func(m, n int) int64 {
+		net, err := nn.NewNetwork(nn.Vec(m), nn.NewDense(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, err := Count(net, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.AND
+	}
+	c24 := count(2, 4)
+	c48 := count(4, 8)
+	ratio := float64(c48) / float64(c24)
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("MVM scaling ratio = %.2f, want ≈4 (m·n quadrupled)", ratio)
+	}
+}
+
+func TestFastCountMatchesStreamingCount(t *testing.T) {
+	f := fixed.Default
+	nets := []*nn.Network{
+		smallDenseNet(t, act.TanhCORDIC),
+		smallDenseNet(t, act.SigmoidPLAN),
+		smallConvNet(t),
+		meanPoolNet(t),
+	}
+	// Add a pruned variant.
+	pruned := smallDenseNet(t, act.ReLU)
+	d := pruned.Layers[0].(*nn.Dense)
+	for i := 0; i < len(d.Mask); i += 2 {
+		d.Mask[i] = false
+	}
+	nets = append(nets, pruned)
+
+	for _, net := range nets {
+		for _, opt := range []Options{{}, {RawScores: true}, {Outsourced: true}} {
+			slow, layS, err := Count(net, f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, layF, err := FastCount(net, f, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slow.AND != fast.AND || slow.XOR != fast.XOR || slow.INV != fast.INV {
+				t.Errorf("%s %+v: fast %v vs streaming %v", net.Arch(), opt, fast, slow)
+			}
+			if layS.WeightBits != layF.WeightBits || layS.DataBits != layF.DataBits ||
+				layS.OutputBits != layF.OutputBits || layS.ShareBits != layF.ShareBits {
+				t.Errorf("%s %+v: layout fast %+v vs streaming %+v", net.Arch(), opt, layF, layS)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsecure/internal/fixed"
+)
+
+// Conv2D is a 2D convolution layer (Table 1's first row): OutC maps of
+// K×K kernels with the given stride and symmetric zero padding.
+type Conv2D struct {
+	OutC, K, Stride, Pad int
+
+	in   Shape
+	out  Shape
+	W    []float64 // [OutC][InC][K][K] flattened
+	B    []float64
+	Mask []bool
+
+	lastIn []float64
+	gradW  []float64
+	gradB  []float64
+	velW   []float64
+	velB   []float64
+}
+
+// NewConv2D builds a convolution layer.
+func NewConv2D(outC, k, stride, pad int) *Conv2D {
+	return &Conv2D{OutC: outC, K: k, Stride: stride, Pad: pad}
+}
+
+// Name implements Layer (paper style: "5C2" = 5 maps stride 2).
+func (c *Conv2D) Name() string { return fmt.Sprintf("%dC%d", c.OutC, c.Stride) }
+
+// Bind implements Layer.
+func (c *Conv2D) Bind(in Shape) (Shape, error) {
+	if in.H < c.K || in.W < c.K {
+		return Shape{}, fmt.Errorf("conv: input %v smaller than kernel %d", in, c.K)
+	}
+	if c.Stride < 1 {
+		return Shape{}, fmt.Errorf("conv: stride %d", c.Stride)
+	}
+	c.in = in
+	oh := (in.H+2*c.Pad-c.K)/c.Stride + 1
+	ow := (in.W+2*c.Pad-c.K)/c.Stride + 1
+	c.out = Shape{C: c.OutC, H: oh, W: ow}
+	n := c.OutC * in.C * c.K * c.K
+	if c.W == nil {
+		c.W = make([]float64, n)
+		c.B = make([]float64, c.OutC)
+		c.Mask = make([]bool, n)
+		for i := range c.Mask {
+			c.Mask[i] = true
+		}
+	}
+	if len(c.W) != n {
+		return Shape{}, fmt.Errorf("conv: weights sized %d, need %d", len(c.W), n)
+	}
+	return c.out, nil
+}
+
+func (c *Conv2D) initWeights(rng *rand.Rand) {
+	fanIn := float64(c.in.C * c.K * c.K)
+	scale := math.Sqrt(2.0 / fanIn)
+	for i := range c.W {
+		c.W[i] = rng.NormFloat64() * scale
+	}
+	for i := range c.B {
+		c.B[i] = 0
+	}
+}
+
+// Weights implements ParamLayer.
+func (c *Conv2D) Weights() ([]float64, []bool) { return c.W, c.Mask }
+
+// Biases implements ParamLayer.
+func (c *Conv2D) Biases() []float64 { return c.B }
+
+// ActiveWeights implements ParamLayer.
+func (c *Conv2D) ActiveWeights() int {
+	n := 0
+	for _, m := range c.Mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Conv2D) wIdx(oc, ic, ky, kx int) int {
+	return ((oc*c.in.C+ic)*c.K+ky)*c.K + kx
+}
+
+func (c *Conv2D) inIdx(ic, y, x int) int {
+	return (ic*c.in.H+y)*c.in.W + x
+}
+
+func (c *Conv2D) outIdx(oc, y, x int) int {
+	return (oc*c.out.H+y)*c.out.W + x
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x []float64) []float64 {
+	out := make([]float64, c.out.Len())
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < c.out.H; oy++ {
+			for ox := 0; ox < c.out.W; ox++ {
+				acc := c.B[oc]
+				for ic := 0; ic < c.in.C; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= c.in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= c.in.W {
+								continue
+							}
+							wi := c.wIdx(oc, ic, ky, kx)
+							if c.Mask[wi] {
+								acc += c.W[wi] * x[c.inIdx(ic, iy, ix)]
+							}
+						}
+					}
+				}
+				out[c.outIdx(oc, oy, ox)] = acc
+			}
+		}
+	}
+	return out
+}
+
+// ForwardFixed implements Layer with the canonical wrap-accumulate order:
+// bias, then (ic, ky, kx) lexicographic, skipping pad and masked taps.
+func (c *Conv2D) ForwardFixed(f fixed.Format, x []fixed.Num) []fixed.Num {
+	out := make([]fixed.Num, c.out.Len())
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < c.out.H; oy++ {
+			for ox := 0; ox < c.out.W; ox++ {
+				acc := f.FromFloatSat(c.B[oc])
+				for ic := 0; ic < c.in.C; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= c.in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= c.in.W {
+								continue
+							}
+							wi := c.wIdx(oc, ic, ky, kx)
+							if !c.Mask[wi] {
+								continue
+							}
+							w := f.FromFloatSat(c.W[wi])
+							acc = acc.Add(x[c.inIdx(ic, iy, ix)].Mul(w))
+						}
+					}
+				}
+				out[c.outIdx(oc, oy, ox)] = acc
+			}
+		}
+	}
+	return out
+}
+
+// ForwardT implements Backprop.
+func (c *Conv2D) ForwardT(x []float64) []float64 {
+	c.lastIn = append(c.lastIn[:0], x...)
+	return c.Forward(x)
+}
+
+// Backward implements Backprop.
+func (c *Conv2D) Backward(grad []float64) []float64 {
+	if c.gradW == nil {
+		c.gradW = make([]float64, len(c.W))
+		c.gradB = make([]float64, len(c.B))
+	}
+	din := make([]float64, c.in.Len())
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < c.out.H; oy++ {
+			for ox := 0; ox < c.out.W; ox++ {
+				g := grad[c.outIdx(oc, oy, ox)]
+				c.gradB[oc] += g
+				for ic := 0; ic < c.in.C; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= c.in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= c.in.W {
+								continue
+							}
+							wi := c.wIdx(oc, ic, ky, kx)
+							if !c.Mask[wi] {
+								continue
+							}
+							ii := c.inIdx(ic, iy, ix)
+							c.gradW[wi] += g * c.lastIn[ii]
+							din[ii] += g * c.W[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Step implements Backprop.
+func (c *Conv2D) Step(lr float64, batch int) {
+	if c.gradW == nil {
+		return
+	}
+	if c.velW == nil {
+		c.velW = make([]float64, len(c.W))
+		c.velB = make([]float64, len(c.B))
+	}
+	scale := lr / float64(batch)
+	const mom = 0.9
+	for i := range c.W {
+		c.velW[i] = mom*c.velW[i] - scale*c.gradW[i]
+		if c.Mask[i] {
+			c.W[i] += c.velW[i]
+		} else {
+			c.W[i] = 0
+		}
+		c.gradW[i] = 0
+	}
+	for i := range c.B {
+		c.velB[i] = mom*c.velB[i] - scale*c.gradB[i]
+		c.B[i] += c.velB[i]
+		c.gradB[i] = 0
+	}
+}

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepsecure/internal/fixed"
+)
+
+// MaxPool2D computes the maximum over K×K windows with the given stride
+// (Table 1's M1P row).
+type MaxPool2D struct {
+	K, Stride int
+	in, out   Shape
+
+	lastIn  []float64
+	lastArg []int
+}
+
+// NewMaxPool2D builds a max-pooling layer; stride defaults to K when 0.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	if stride == 0 {
+		stride = k
+	}
+	return &MaxPool2D{K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("M1P%d", p.K) }
+
+// Bind implements Layer.
+func (p *MaxPool2D) Bind(in Shape) (Shape, error) {
+	if in.H < p.K || in.W < p.K {
+		return Shape{}, fmt.Errorf("maxpool: input %v smaller than window %d", in, p.K)
+	}
+	p.in = in
+	p.out = Shape{C: in.C, H: (in.H-p.K)/p.Stride + 1, W: (in.W-p.K)/p.Stride + 1}
+	return p.out, nil
+}
+
+func (p *MaxPool2D) window(c, oy, ox int) []int {
+	idx := make([]int, 0, p.K*p.K)
+	for ky := 0; ky < p.K; ky++ {
+		for kx := 0; kx < p.K; kx++ {
+			iy := oy*p.Stride + ky
+			ix := ox*p.Stride + kx
+			idx = append(idx, (c*p.in.H+iy)*p.in.W+ix)
+		}
+	}
+	return idx
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x []float64) []float64 {
+	out := make([]float64, p.out.Len())
+	o := 0
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				best := math.Inf(-1)
+				for _, i := range p.window(c, oy, ox) {
+					if x[i] > best {
+						best = x[i]
+					}
+				}
+				out[o] = best
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// ForwardFixed implements Layer: a left-to-right max chain, matching the
+// comparator tree emitted by netgen.
+func (p *MaxPool2D) ForwardFixed(f fixed.Format, x []fixed.Num) []fixed.Num {
+	out := make([]fixed.Num, p.out.Len())
+	o := 0
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				idx := p.window(c, oy, ox)
+				best := x[idx[0]]
+				for _, i := range idx[1:] {
+					if x[i].Cmp(best) > 0 {
+						best = x[i]
+					}
+				}
+				out[o] = best
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// ForwardT implements Backprop.
+func (p *MaxPool2D) ForwardT(x []float64) []float64 {
+	p.lastIn = append(p.lastIn[:0], x...)
+	p.lastArg = p.lastArg[:0]
+	out := make([]float64, p.out.Len())
+	o := 0
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				bestI := -1
+				best := math.Inf(-1)
+				for _, i := range p.window(c, oy, ox) {
+					if x[i] > best {
+						best, bestI = x[i], i
+					}
+				}
+				out[o] = best
+				p.lastArg = append(p.lastArg, bestI)
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Backprop.
+func (p *MaxPool2D) Backward(grad []float64) []float64 {
+	din := make([]float64, p.in.Len())
+	for o, i := range p.lastArg {
+		din[i] += grad[o]
+	}
+	return din
+}
+
+// Step implements Backprop.
+func (p *MaxPool2D) Step(float64, int) {}
+
+// MeanPool2D averages non-overlapping K×K windows (Table 1's M2P row).
+// K must be a power of two so the circuit divides with a free shift.
+type MeanPool2D struct {
+	K       int
+	in, out Shape
+}
+
+// NewMeanPool2D builds a mean-pooling layer.
+func NewMeanPool2D(k int) *MeanPool2D { return &MeanPool2D{K: k} }
+
+// Name implements Layer.
+func (p *MeanPool2D) Name() string { return fmt.Sprintf("M2P%d", p.K) }
+
+// Bind implements Layer.
+func (p *MeanPool2D) Bind(in Shape) (Shape, error) {
+	if p.K < 1 || (p.K*p.K)&(p.K*p.K-1) != 0 {
+		return Shape{}, fmt.Errorf("meanpool: window %d² must be a power of two", p.K)
+	}
+	if in.H < p.K || in.W < p.K {
+		return Shape{}, fmt.Errorf("meanpool: input %v smaller than window %d", in, p.K)
+	}
+	p.in = in
+	p.out = Shape{C: in.C, H: in.H / p.K, W: in.W / p.K}
+	return p.out, nil
+}
+
+func (p *MeanPool2D) window(c, oy, ox int) []int {
+	idx := make([]int, 0, p.K*p.K)
+	for ky := 0; ky < p.K; ky++ {
+		for kx := 0; kx < p.K; kx++ {
+			iy := oy*p.K + ky
+			ix := ox*p.K + kx
+			idx = append(idx, (c*p.in.H+iy)*p.in.W+ix)
+		}
+	}
+	return idx
+}
+
+// Forward implements Layer.
+func (p *MeanPool2D) Forward(x []float64) []float64 {
+	out := make([]float64, p.out.Len())
+	o := 0
+	inv := 1.0 / float64(p.K*p.K)
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				sum := 0.0
+				for _, i := range p.window(c, oy, ox) {
+					sum += x[i]
+				}
+				out[o] = sum * inv
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// ForwardFixed implements Layer: exact-sum then arithmetic shift, matching
+// stdcell.MeanPool.
+func (p *MeanPool2D) ForwardFixed(f fixed.Format, x []fixed.Num) []fixed.Num {
+	out := make([]fixed.Num, p.out.Len())
+	log := 0
+	for 1<<uint(log) < p.K*p.K {
+		log++
+	}
+	o := 0
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				var sum int64
+				for _, i := range p.window(c, oy, ox) {
+					sum += x[i].Raw()
+				}
+				out[o] = f.FromRaw(sum >> uint(log))
+				o++
+			}
+		}
+	}
+	return out
+}
+
+// ForwardT implements Backprop.
+func (p *MeanPool2D) ForwardT(x []float64) []float64 { return p.Forward(x) }
+
+// Backward implements Backprop.
+func (p *MeanPool2D) Backward(grad []float64) []float64 {
+	din := make([]float64, p.in.Len())
+	inv := 1.0 / float64(p.K*p.K)
+	o := 0
+	for c := 0; c < p.in.C; c++ {
+		for oy := 0; oy < p.out.H; oy++ {
+			for ox := 0; ox < p.out.W; ox++ {
+				for _, i := range p.window(c, oy, ox) {
+					din[i] += grad[o] * inv
+				}
+				o++
+			}
+		}
+	}
+	return din
+}
+
+// Step implements Backprop.
+func (p *MeanPool2D) Step(float64, int) {}

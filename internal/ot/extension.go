@@ -1,0 +1,215 @@
+package ot
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"io"
+
+	"deepsecure/internal/gc"
+	"deepsecure/internal/transport"
+)
+
+// k is the OT-extension security parameter: the number of base OTs.
+const k = 128
+
+// prg expands a 16-byte seed into n pseudorandom bytes with AES-CTR.
+func prg(seed Msg, n int) []byte {
+	block, err := aes.NewCipher(seed[:])
+	if err != nil {
+		panic(fmt.Sprintf("ot: prg cipher: %v", err))
+	}
+	out := make([]byte, n)
+	var iv [16]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, out)
+	return out
+}
+
+// packBits packs bools LSB-first into bytes.
+func packBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// transposeToRows converts 128 column bit-vectors (each m bits packed in
+// mBytes) into m rows of 16 bytes each (row j holds bit j of every
+// column).
+func transposeToRows(cols [][]byte, m int) [][16]byte {
+	rows := make([][16]byte, m)
+	for i := 0; i < k; i++ {
+		col := cols[i]
+		byteIdx := i / 8
+		bitMask := byte(1 << uint(i%8))
+		for j := 0; j < m; j++ {
+			if col[j/8]&(1<<uint(j%8)) != 0 {
+				rows[j][byteIdx] |= bitMask
+			}
+		}
+	}
+	return rows
+}
+
+// ExtSender is the IKNP sender: it holds the message pairs in each
+// extended OT (the garbler, whose pairs are wire-label pairs).
+type ExtSender struct {
+	conn  *transport.Conn
+	s     []bool // secret base-OT choices
+	sRow  [16]byte
+	seeds []Msg // k_{s_i}
+	h     *gc.Hasher
+	idx   uint64
+}
+
+// NewExtSender runs the base phase (as base-OT receiver with a secret
+// choice vector) and returns a sender ready for Send batches.
+func NewExtSender(conn *transport.Conn, rng io.Reader) (*ExtSender, error) {
+	s := make([]bool, k)
+	var buf [k / 8]byte
+	if _, err := io.ReadFull(rng, buf[:]); err != nil {
+		return nil, fmt.Errorf("ot: sender randomness: %w", err)
+	}
+	for i := range s {
+		s[i] = buf[i/8]&(1<<uint(i%8)) != 0
+	}
+	seeds, err := BaseReceive(conn, rng, s)
+	if err != nil {
+		return nil, fmt.Errorf("ot: extension base phase (receive): %w", err)
+	}
+	es := &ExtSender{conn: conn, s: s, seeds: seeds, h: gc.NewHasher()}
+	copy(es.sRow[:], packBits(s))
+	return es, nil
+}
+
+// Send runs one extension batch, obliviously transferring pairs[j][r_j]
+// for the receiver's hidden choice bits r.
+func (es *ExtSender) Send(pairs [][2]Msg) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	mBytes := (m + 7) / 8
+	u, err := es.conn.Recv(transport.MsgOTExtU)
+	if err != nil {
+		return err
+	}
+	if len(u) != k*mBytes {
+		return fmt.Errorf("ot: U matrix is %d bytes, want %d", len(u), k*mBytes)
+	}
+	cols := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		q := prg(es.seeds[i], mBytes)
+		if es.s[i] {
+			ui := u[i*mBytes : (i+1)*mBytes]
+			for j := range q {
+				q[j] ^= ui[j]
+			}
+		}
+		cols[i] = q
+	}
+	rows := transposeToRows(cols, m)
+
+	out := make([]byte, 0, m*2*MsgLen)
+	for j := 0; j < m; j++ {
+		qj := gc.Label(rows[j])
+		h0 := es.h.H(qj, es.idx)
+		qs := qj.XOR(gc.Label(es.sRow))
+		h1 := es.h.H(qs, es.idx)
+		es.idx++
+		var y0, y1 Msg
+		for b := 0; b < MsgLen; b++ {
+			y0[b] = pairs[j][0][b] ^ h0[b]
+			y1[b] = pairs[j][1][b] ^ h1[b]
+		}
+		out = append(out, y0[:]...)
+		out = append(out, y1[:]...)
+	}
+	if err := es.conn.Send(transport.MsgOTExtY, out); err != nil {
+		return err
+	}
+	return es.conn.Flush()
+}
+
+// ExtReceiver is the IKNP receiver (the evaluator, whose choice bits are
+// its private input bits).
+type ExtReceiver struct {
+	conn   *transport.Conn
+	seeds0 []Msg
+	seeds1 []Msg
+	h      *gc.Hasher
+	idx    uint64
+}
+
+// NewExtReceiver runs the base phase (as base-OT sender with random seed
+// pairs) and returns a receiver ready for Receive batches.
+func NewExtReceiver(conn *transport.Conn, rng io.Reader) (*ExtReceiver, error) {
+	er := &ExtReceiver{conn: conn, h: gc.NewHasher()}
+	pairs := make([][2]Msg, k)
+	er.seeds0 = make([]Msg, k)
+	er.seeds1 = make([]Msg, k)
+	for i := 0; i < k; i++ {
+		if _, err := io.ReadFull(rng, er.seeds0[i][:]); err != nil {
+			return nil, fmt.Errorf("ot: receiver randomness: %w", err)
+		}
+		if _, err := io.ReadFull(rng, er.seeds1[i][:]); err != nil {
+			return nil, fmt.Errorf("ot: receiver randomness: %w", err)
+		}
+		pairs[i] = [2]Msg{er.seeds0[i], er.seeds1[i]}
+	}
+	if err := BaseSend(er.conn, rng, pairs); err != nil {
+		return nil, fmt.Errorf("ot: extension base phase (send): %w", err)
+	}
+	return er, nil
+}
+
+// Receive runs one extension batch and returns the chosen messages.
+func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mBytes := (m + 7) / 8
+	r := packBits(choices)
+
+	tCols := make([][]byte, k)
+	u := make([]byte, 0, k*mBytes)
+	for i := 0; i < k; i++ {
+		t := prg(er.seeds0[i], mBytes)
+		g1 := prg(er.seeds1[i], mBytes)
+		ui := make([]byte, mBytes)
+		for j := range ui {
+			ui[j] = t[j] ^ g1[j] ^ r[j]
+		}
+		tCols[i] = t
+		u = append(u, ui...)
+	}
+	if err := er.conn.Send(transport.MsgOTExtU, u); err != nil {
+		return nil, err
+	}
+	rows := transposeToRows(tCols, m)
+
+	y, err := er.conn.Recv(transport.MsgOTExtY)
+	if err != nil {
+		return nil, err
+	}
+	if len(y) != m*2*MsgLen {
+		return nil, fmt.Errorf("ot: Y payload is %d bytes, want %d", len(y), m*2*MsgLen)
+	}
+	out := make([]Msg, m)
+	for j := 0; j < m; j++ {
+		h := er.h.H(gc.Label(rows[j]), er.idx)
+		er.idx++
+		off := j * 2 * MsgLen
+		if choices[j] {
+			off += MsgLen
+		}
+		for b := 0; b < MsgLen; b++ {
+			out[j][b] = y[off+b] ^ h[b]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package ot
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deepsecure/internal/transport"
+)
+
+func randPairs(rng *rand.Rand, n int) [][2]Msg {
+	pairs := make([][2]Msg, n)
+	for i := range pairs {
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+	}
+	return pairs
+}
+
+func randChoices(rng *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+func TestBaseOT(t *testing.T) {
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(1))
+	pairs := randPairs(rng, 16)
+	choices := randChoices(rng, 16)
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sendErr = BaseSend(a, rand.New(rand.NewSource(2)), pairs)
+	}()
+	got, err := BaseReceive(b, rand.New(rand.NewSource(3)), choices)
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range choices {
+		want := pairs[i][0]
+		if c {
+			want = pairs[i][1]
+		}
+		if got[i] != want {
+			t.Errorf("base OT %d: got wrong message for choice %v", i, c)
+		}
+		other := pairs[i][1]
+		if c {
+			other = pairs[i][0]
+		}
+		if got[i] == other && other != want {
+			t.Errorf("base OT %d: received the unchosen message", i)
+		}
+	}
+}
+
+func runExtension(t *testing.T, nOTs int, seedS, seedR int64) ([][2]Msg, []bool, []Msg) {
+	t.Helper()
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(77))
+	pairs := randPairs(rng, nOTs)
+	choices := randChoices(rng, nOTs)
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(seedS)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = s.Send(pairs)
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(seedR)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(choices)
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, choices, got
+}
+
+func TestExtensionSmall(t *testing.T) {
+	pairs, choices, got := runExtension(t, 10, 4, 5)
+	for i, c := range choices {
+		want := pairs[i][0]
+		if c {
+			want = pairs[i][1]
+		}
+		if got[i] != want {
+			t.Errorf("ext OT %d wrong", i)
+		}
+	}
+}
+
+func TestExtensionLargeAndUnaligned(t *testing.T) {
+	// Not a multiple of 8: exercises bit packing edges.
+	for _, n := range []int{1, 7, 129, 1000, 4097} {
+		pairs, choices, got := runExtension(t, n, int64(n), int64(n)+1)
+		bad := 0
+		for i, c := range choices {
+			want := pairs[i][0]
+			if c {
+				want = pairs[i][1]
+			}
+			if got[i] != want {
+				bad++
+			}
+		}
+		if bad != 0 {
+			t.Errorf("n=%d: %d wrong transfers", n, bad)
+		}
+	}
+}
+
+func TestExtensionMultipleBatches(t *testing.T) {
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(9))
+	batches := [][2]interface{}{}
+	_ = batches
+
+	var wg sync.WaitGroup
+	var sendErr error
+	pairsA := randPairs(rng, 100)
+	pairsB := randPairs(rng, 33)
+	choicesA := randChoices(rng, 100)
+	choicesB := randChoices(rng, 33)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(10)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		if err := s.Send(pairsA); err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = s.Send(pairsB)
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := r.Receive(choicesA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := r.Receive(choicesB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	check := func(pairs [][2]Msg, choices []bool, got []Msg) {
+		for i, c := range choices {
+			want := pairs[i][0]
+			if c {
+				want = pairs[i][1]
+			}
+			if got[i] != want {
+				t.Errorf("batch OT %d wrong", i)
+			}
+		}
+	}
+	check(pairsA, choicesA, gotA)
+	check(pairsB, choicesB, gotB)
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := 37
+	mBytes := (m + 7) / 8
+	cols := make([][]byte, k)
+	for i := range cols {
+		cols[i] = make([]byte, mBytes)
+		rng.Read(cols[i])
+	}
+	rows := transposeToRows(cols, m)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			colBit := cols[i][j/8]&(1<<uint(j%8)) != 0
+			rowBit := rows[j][i/8]&(1<<uint(i%8)) != 0
+			if colBit != rowBit {
+				t.Fatalf("transpose mismatch at col %d row %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPRGDeterministicAndDistinct(t *testing.T) {
+	var s1, s2 Msg
+	s2[0] = 1
+	a := prg(s1, 64)
+	b := prg(s1, 64)
+	c := prg(s2, 64)
+	if !bytes.Equal(a, b) {
+		t.Error("prg not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("prg ignores seed")
+	}
+	var zero [64]byte
+	if bytes.Equal(a, zero[:]) {
+		t.Error("prg output all zero")
+	}
+}
+
+func TestPackBits(t *testing.T) {
+	bits := []bool{true, false, true, true, false, false, false, false, true}
+	got := packBits(bits)
+	if len(got) != 2 || got[0] != 0b00001101 || got[1] != 0b00000001 {
+		t.Errorf("packBits = %08b", got)
+	}
+}
+
+func TestCorruptedExtYFails(t *testing.T) {
+	// A tampered Y payload (wrong length) must be rejected.
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(30)))
+		if err != nil {
+			return
+		}
+		// Drain U, then reply with a short bogus Y.
+		if _, err := a.Recv(transport.MsgOTExtU); err != nil {
+			return
+		}
+		_ = a.Send(transport.MsgOTExtY, []byte{1, 2, 3})
+		_ = a.Flush()
+		_ = s
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Receive(randChoices(rand.New(rand.NewSource(32)), 10))
+	wg.Wait()
+	if err == nil {
+		t.Error("short Y payload must be rejected")
+	}
+}

@@ -1,0 +1,257 @@
+// Package project implements DeepSecure's data-projection pre-processing
+// (paper §3.2.1, Algorithms 1 and 2): the server streams its training
+// data, greedily grows a dictionary of directions that the data is not
+// yet well represented by (projection error above the threshold γ),
+// periodically retrains the DL model on the low-dimensional embeddings,
+// and stops adding atoms when the validation error stops improving
+// (patience). The released projection is an orthonormal basis U of the
+// dictionary's column space.
+//
+// Note on the released matrix: the paper releases W = D(DᵀD)⁻¹Dᵀ = UUᵀ
+// (m×m) yet retrains the network on l-dimensional embeddings. For the
+// input layer to shrink, the client must send l-dimensional vectors, so
+// this implementation releases U (m×l) and the client computes y = Uᵀx
+// (Algorithm 2). U and W = UUᵀ are interconvertible, so Proposition 3.1's
+// security argument — only the subspace leaks, D itself cannot be
+// reconstructed — carries over unchanged; the packaged tests verify
+// W = UUᵀ and its idempotency/symmetry.
+package project
+
+import (
+	"fmt"
+
+	"deepsecure/internal/linalg"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/train"
+)
+
+// Config controls Algorithm 1.
+type Config struct {
+	// Gamma is the projection-error threshold γ: samples whose relative
+	// residual exceeds it contribute a new dictionary atom.
+	Gamma float64
+	// Batch is n_batch: how many streamed samples between retraining
+	// checkpoints.
+	Batch int
+	// Patience is the number of checkpoints without validation
+	// improvement before atom addition stops (early stopping).
+	Patience int
+	// MaxAtoms caps the dictionary size l (0 = no cap beyond m).
+	MaxAtoms int
+	// Retrain configures the per-checkpoint and final retraining runs.
+	Retrain train.Config
+	// RangeTarget bounds the magnitude of released embeddings: the basis
+	// is divided by a public constant so that training embeddings fit in
+	// [-RangeTarget, RangeTarget] — keeping the secure fixed-point path
+	// (Q3.12 spans (-8,8)) out of saturation. 0 defaults to 6.
+	RangeTarget float64
+}
+
+// DefaultConfig returns the settings used by the benchmark harness.
+func DefaultConfig() Config {
+	rc := train.DefaultConfig()
+	rc.Epochs = 4
+	return Config{Gamma: 0.25, Batch: 64, Patience: 3, Retrain: rc}
+}
+
+// Result carries the fitted projection and the retrained model.
+type Result struct {
+	// U is the released m×l orthonormal projection basis (Algorithm 2's
+	// public matrix).
+	U *linalg.Mat
+	// Scale is the public normalization constant: clients compute
+	// y = Uᵀx / Scale so embeddings fit the secure fixed-point range.
+	Scale float64
+	// Net is the DL model retrained on the embedded data.
+	Net *nn.Network
+	// Atoms is l, the embedding dimension.
+	Atoms int
+	// ValErr is the final validation error δ of the retrained model.
+	ValErr float64
+	// Checkpoints is the number of retraining checkpoints executed.
+	Checkpoints int
+}
+
+// Embed computes y = Uᵀx / Scale — the client-side online step
+// (Algorithm 2 with the public range normalization).
+func (r *Result) Embed(x []float64) []float64 {
+	y := r.U.T().MulVec(x)
+	if r.Scale != 1 {
+		for i := range y {
+			y[i] /= r.Scale
+		}
+	}
+	return y
+}
+
+// EmbedAll embeds a whole dataset.
+func (r *Result) EmbedAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = r.Embed(x)
+	}
+	return out
+}
+
+// Projector returns W = UUᵀ, the matrix whose security Proposition 3.1
+// analyzes.
+func (r *Result) Projector() *linalg.Mat { return r.U.Mul(r.U.T()) }
+
+// Fit runs Algorithm 1. netFactory builds the condensed DL architecture
+// for a given input dimension (the hidden/output structure is up to the
+// caller and typically mirrors the original model).
+func Fit(
+	trainX [][]float64, trainY []int,
+	valX [][]float64, valY []int,
+	cfg Config,
+	netFactory func(inputDim int) (*nn.Network, error),
+) (*Result, error) {
+	if len(trainX) == 0 {
+		return nil, fmt.Errorf("project: empty training set")
+	}
+	m := len(trainX[0])
+	maxAtoms := cfg.MaxAtoms
+	if maxAtoms <= 0 || maxAtoms > m {
+		maxAtoms = m
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Patience <= 0 {
+		cfg.Patience = 3
+	}
+
+	// Orthonormal dictionary basis, grown column by column. Storing U
+	// directly (instead of raw atoms D) makes the projection residual a
+	// cheap Gram-Schmidt step; span(U) = span(D) at all times.
+	var basis [][]float64
+	deltaBest := 1.0
+	itr := 0
+	stopped := false
+	checkpoints := 0
+
+	residual := func(x []float64) ([]float64, float64, float64) {
+		r := append([]float64(nil), x...)
+		for _, u := range basis {
+			d := linalg.Dot(u, r)
+			for i := range r {
+				r[i] -= d * u[i]
+			}
+		}
+		return r, linalg.Norm(r), linalg.Norm(x)
+	}
+
+	retrainCheckpoint := func() (*nn.Network, float64, error) {
+		net, err := netFactory(len(basis))
+		if err != nil {
+			return nil, 0, err
+		}
+		u := basisMat(m, basis)
+		emb := embedAll(u, trainX)
+		if _, err := train.Run(net, emb, trainY, cfg.Retrain); err != nil {
+			return nil, 0, err
+		}
+		val := embedAll(u, valX)
+		return net, train.Error(net, val, valY), nil
+	}
+
+	for i, x := range trainX {
+		if !stopped && len(basis) < maxAtoms {
+			// Lines 12–16: projection error Vp of the streamed sample.
+			r, rn, xn := residual(x)
+			vp := 1.0
+			if len(basis) > 0 && xn > 1e-12 {
+				vp = rn / xn
+			}
+			// Lines 23–26: extend the dictionary when under-represented.
+			if vp > cfg.Gamma && rn > 1e-12 {
+				for k := range r {
+					r[k] /= rn
+				}
+				basis = append(basis, r)
+			}
+		}
+		// Lines 32–35: retraining checkpoint every n_batch samples.
+		if (i+1)%cfg.Batch == 0 && len(basis) > 0 && !stopped {
+			_, delta, err := retrainCheckpoint()
+			if err != nil {
+				return nil, err
+			}
+			checkpoints++
+			// Lines 17–22: patience-based early stopping on δ.
+			if delta < deltaBest {
+				deltaBest = delta
+				itr = 0
+			} else {
+				itr++
+				if itr >= cfg.Patience {
+					stopped = true
+				}
+			}
+		}
+	}
+	if len(basis) == 0 {
+		return nil, fmt.Errorf("project: no atoms selected (gamma %g too high?)", cfg.Gamma)
+	}
+
+	// Derive the public range-normalization constant so that embeddings
+	// stay inside the secure fixed-point range (Q3.12 spans (-8,8)). The
+	// constant is public and scale-only, so Proposition 3.1's subspace
+	// argument is unaffected.
+	target := cfg.RangeTarget
+	if target <= 0 {
+		target = 6
+	}
+	u := basisMat(m, basis)
+	maxAbs := 0.0
+	ut := u.T()
+	for _, x := range trainX {
+		for _, v := range ut.MulVec(x) {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	scale := 1.0
+	if maxAbs > target {
+		scale = maxAbs / target
+	}
+
+	// Final retraining on the settled, normalized embedding (the
+	// "UpdateDL" of the last stream position, with full epochs).
+	res := &Result{U: u, Scale: scale, Atoms: len(basis), Checkpoints: checkpoints + 1}
+	net, err := netFactory(len(basis))
+	if err != nil {
+		return nil, err
+	}
+	embTrain := res.EmbedAll(trainX)
+	if _, err := train.Run(net, embTrain, trainY, cfg.Retrain); err != nil {
+		return nil, err
+	}
+	// Keep the condensed model's logits inside the fixed-point range
+	// (argmax-invariant output scaling).
+	net.CalibrateOutput(embTrain, target)
+	res.Net = net
+	res.ValErr = train.Error(net, res.EmbedAll(valX), valY)
+	return res, nil
+}
+
+func basisMat(m int, basis [][]float64) *linalg.Mat {
+	u := linalg.New(m, len(basis))
+	for j, col := range basis {
+		u.SetCol(j, col)
+	}
+	return u
+}
+
+func embedAll(u *linalg.Mat, xs [][]float64) [][]float64 {
+	ut := u.T()
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = ut.MulVec(x)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package project
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/datasets"
+	"deepsecure/internal/linalg"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/train"
+)
+
+func audioish(t *testing.T) *datasets.Set {
+	t.Helper()
+	set, err := datasets.Generate(datasets.Config{
+		Name: "proj-test", Dim: 48, Classes: 4, Rank: 8, Noise: 0.04,
+		Train: 400, Test: 120, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func factory(hidden, classes int) func(int) (*nn.Network, error) {
+	return func(in int) (*nn.Network, error) {
+		net, err := nn.NewNetwork(nn.Vec(in),
+			nn.NewDense(hidden),
+			nn.NewActivation(act.TanhCORDIC),
+			nn.NewDense(classes),
+		)
+		if err != nil {
+			return nil, err
+		}
+		net.InitWeights(rand.New(rand.NewSource(77)))
+		return net, nil
+	}
+}
+
+func TestFitCompressesAndKeepsAccuracy(t *testing.T) {
+	set := audioish(t)
+	cfg := DefaultConfig()
+	cfg.Retrain.Epochs = 6
+	res, err := Fit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg, factory(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression: the data has intrinsic rank ~8 in dim 48, so the
+	// dictionary must be far smaller than the ambient dimension.
+	if res.Atoms >= 48/2 {
+		t.Errorf("no compression: %d atoms for dim 48", res.Atoms)
+	}
+	if res.Atoms < 4 {
+		t.Errorf("implausibly few atoms: %d", res.Atoms)
+	}
+	// Accuracy preserved (paper: "without sacrificing the accuracy").
+	emb := res.EmbedAll(set.TestX)
+	acc := train.Accuracy(res.Net, emb, set.TestY)
+	if acc < 0.80 {
+		t.Errorf("projected-model accuracy %.2f too low", acc)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no retraining checkpoints executed")
+	}
+}
+
+func TestProjectionMatrixSecurityProperties(t *testing.T) {
+	// Proposition 3.1: the released information is exactly the subspace —
+	// W = UUᵀ must be a symmetric idempotent projector and U orthonormal.
+	set := audioish(t)
+	cfg := DefaultConfig()
+	cfg.Retrain.Epochs = 2
+	res, err := Fit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg, factory(10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.U
+	utu := u.T().Mul(u)
+	if d := utu.Sub(linalg.Identity(u.Cols)).FrobNorm(); d > 1e-8 {
+		t.Errorf("U not orthonormal: %g", d)
+	}
+	w := res.Projector()
+	if d := w.Sub(w.T()).FrobNorm(); d > 1e-8 {
+		t.Errorf("W not symmetric: %g", d)
+	}
+	if d := w.Mul(w).Sub(w).FrobNorm(); d > 1e-8 {
+		t.Errorf("W not idempotent: %g", d)
+	}
+}
+
+func TestEmbedConsistency(t *testing.T) {
+	set := audioish(t)
+	cfg := DefaultConfig()
+	cfg.Retrain.Epochs = 2
+	res, err := Fit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg, factory(10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := set.TestX[0]
+	y := res.Embed(x)
+	if len(y) != res.Atoms {
+		t.Fatalf("embedding dim %d, want %d", len(y), res.Atoms)
+	}
+	// Uᵀ(UUᵀ x) = Uᵀx: embedding is invariant to pre-projection.
+	wx := res.Projector().MulVec(x)
+	y2 := res.Embed(wx)
+	for i := range y {
+		if diff := y[i] - y2[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("embedding not projection-invariant at %d: %g vs %g", i, y[i], y2[i])
+		}
+	}
+}
+
+func TestGammaControlsAtomCount(t *testing.T) {
+	set := audioish(t)
+	atoms := func(gamma float64) int {
+		cfg := DefaultConfig()
+		cfg.Gamma = gamma
+		cfg.Retrain.Epochs = 1
+		cfg.Patience = 100 // disable early stop for this comparison
+		res, err := Fit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg, factory(8, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Atoms
+	}
+	loose := atoms(0.6)
+	tight := atoms(0.15)
+	if loose >= tight {
+		t.Errorf("higher gamma should give fewer atoms: γ=0.6→%d, γ=0.15→%d", loose, tight)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, nil, nil, DefaultConfig(), factory(4, 2)); err == nil {
+		t.Error("empty training set accepted")
+	}
+	set := audioish(t)
+	cfg := DefaultConfig()
+	cfg.Gamma = 2.0 // relative error can never exceed 1 after the first atom
+	cfg.MaxAtoms = 0
+	if _, err := Fit(set.TrainX, set.TrainY, set.TestX, set.TestY, cfg, factory(4, 4)); err != nil {
+		// First sample always joins (Vp=1 when empty is not > 2.0)...
+		// With gamma > 1 nothing is ever selected: expect the error.
+		t.Logf("gamma too high correctly errored: %v", err)
+		return
+	}
+	t.Log("gamma 2.0 still selected atoms via first-sample rule")
+}

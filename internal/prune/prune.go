@@ -1,0 +1,125 @@
+// Package prune implements DeepSecure's DL-network pre-processing (paper
+// §3.2.2): magnitude-based pruning of low-weight connections followed by
+// retraining to recover accuracy [Han et al., the paper's 28]. The
+// resulting sparsity map is public (§3.7-ii) and drives netgen to skip
+// the pruned multiply-accumulates entirely.
+package prune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deepsecure/internal/nn"
+	"deepsecure/internal/train"
+)
+
+// Report summarizes one prune-and-retrain pass.
+type Report struct {
+	// DensityBefore/After are active-weight fractions (1 = dense).
+	DensityBefore, DensityAfter float64
+	// AccBefore/After are validation accuracies around the pass.
+	AccBefore, AccAfter float64
+	// PerLayer lists the per-layer densities after pruning.
+	PerLayer []float64
+}
+
+// Magnitude prunes the given fraction of the smallest-magnitude active
+// weights in each parameter layer (per-layer thresholding, Han-style) and
+// zeroes them. It does not retrain.
+func Magnitude(net *nn.Network, fraction float64) (*Report, error) {
+	if fraction < 0 || fraction >= 1 {
+		return nil, fmt.Errorf("prune: fraction %g out of [0,1)", fraction)
+	}
+	rep := &Report{DensityBefore: Density(net)}
+	for _, p := range net.ParamLayers() {
+		w, mask := p.Weights()
+		var mags []float64
+		for i, v := range w {
+			if mask[i] {
+				mags = append(mags, math.Abs(v))
+			}
+		}
+		if len(mags) == 0 {
+			rep.PerLayer = append(rep.PerLayer, 0)
+			continue
+		}
+		sort.Float64s(mags)
+		cut := mags[int(float64(len(mags))*fraction)]
+		active := 0
+		for i, v := range w {
+			if !mask[i] {
+				continue
+			}
+			if math.Abs(v) < cut {
+				mask[i] = false
+				w[i] = 0
+			} else {
+				active++
+			}
+		}
+		rep.PerLayer = append(rep.PerLayer, float64(active)/float64(len(w)))
+	}
+	rep.DensityAfter = Density(net)
+	return rep, nil
+}
+
+// Density returns the fraction of weights still active (biases excluded).
+func Density(net *nn.Network) float64 {
+	active, total := 0, 0
+	for _, p := range net.ParamLayers() {
+		w, _ := p.Weights()
+		total += len(w)
+		active += p.ActiveWeights()
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(active) / float64(total)
+}
+
+// Run performs the full §3.2.2 pass: measure, prune, retrain, re-measure.
+// The sparsity map is left installed on the network's masks.
+func Run(net *nn.Network, fraction float64,
+	trainX [][]float64, trainY []int,
+	valX [][]float64, valY []int,
+	cfg train.Config,
+) (*Report, error) {
+	rep0 := &Report{}
+	rep0.AccBefore = train.Accuracy(net, valX, valY)
+	rep, err := Magnitude(net, fraction)
+	if err != nil {
+		return nil, err
+	}
+	rep.AccBefore = rep0.AccBefore
+	if _, err := train.Run(net, trainX, trainY, cfg); err != nil {
+		return nil, err
+	}
+	rep.AccAfter = train.Accuracy(net, valX, valY)
+	return rep, nil
+}
+
+// Iterative prunes in steps (fraction per step, retraining between
+// steps), the schedule that reaches high sparsity without accuracy
+// collapse. Returns the final report.
+func Iterative(net *nn.Network, stepFraction float64, steps int,
+	trainX [][]float64, trainY []int,
+	valX [][]float64, valY []int,
+	cfg train.Config,
+) (*Report, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("prune: steps %d", steps)
+	}
+	first := train.Accuracy(net, valX, valY)
+	var rep *Report
+	var err error
+	for s := 0; s < steps; s++ {
+		rep, err = Run(net, stepFraction, trainX, trainY, valX, valY, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.AccBefore = first
+	rep.DensityBefore = 1
+	return rep, nil
+}

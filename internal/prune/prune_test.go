@@ -1,0 +1,141 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/datasets"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/train"
+)
+
+func setup(t *testing.T) (*nn.Network, *datasets.Set) {
+	t.Helper()
+	set, err := datasets.Generate(datasets.Config{
+		Name: "prune-test", Dim: 24, Classes: 3, Rank: 6, Noise: 0.05,
+		Train: 300, Test: 100, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.NewNetwork(nn.Vec(24),
+		nn.NewDense(20),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(31)))
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 10
+	if _, err := train.Run(net, set.TrainX, set.TrainY, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return net, set
+}
+
+func TestMagnitudePrunesRequestedFraction(t *testing.T) {
+	net, _ := setup(t)
+	rep, err := Magnitude(net, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DensityBefore != 1 {
+		t.Errorf("density before = %g", rep.DensityBefore)
+	}
+	if rep.DensityAfter > 0.55 || rep.DensityAfter < 0.40 {
+		t.Errorf("density after 50%% prune = %g", rep.DensityAfter)
+	}
+	// The zeroed weights must actually be zero and masked.
+	for _, p := range net.ParamLayers() {
+		w, mask := p.Weights()
+		for i := range w {
+			if !mask[i] && w[i] != 0 {
+				t.Fatal("pruned weight not zeroed")
+			}
+		}
+	}
+}
+
+func TestPruneKeepsLargeWeights(t *testing.T) {
+	net, _ := setup(t)
+	d := net.Layers[0].(*nn.Dense)
+	// Find the largest-magnitude weight; it must survive a 70% prune.
+	maxI := 0
+	for i := range d.W {
+		if abs(d.W[i]) > abs(d.W[maxI]) {
+			maxI = i
+		}
+	}
+	if _, err := Magnitude(net, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Mask[maxI] {
+		t.Error("largest weight was pruned")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRunRecoversAccuracy(t *testing.T) {
+	net, set := setup(t)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 8
+	rep, err := Run(net, 0.6, set.TrainX, set.TrainY, set.TestX, set.TestY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AccAfter < rep.AccBefore-0.08 {
+		t.Errorf("pruning+retraining lost too much accuracy: %.2f → %.2f", rep.AccBefore, rep.AccAfter)
+	}
+	if rep.DensityAfter > 0.45 {
+		t.Errorf("density after = %g, want ≤ 0.45", rep.DensityAfter)
+	}
+}
+
+func TestIterativeReachesHighSparsity(t *testing.T) {
+	net, set := setup(t)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 5
+	rep, err := Iterative(net, 0.4, 3, set.TrainX, set.TrainY, set.TestX, set.TestY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 40% rounds ⇒ density ≈ 0.6³ ≈ 0.22.
+	if rep.DensityAfter > 0.3 {
+		t.Errorf("iterative density = %g, want ≤ 0.3", rep.DensityAfter)
+	}
+	if rep.AccAfter < 0.7 {
+		t.Errorf("accuracy collapsed to %.2f", rep.AccAfter)
+	}
+}
+
+func TestBadFractionRejected(t *testing.T) {
+	net, _ := setup(t)
+	if _, err := Magnitude(net, 1.0); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	if _, err := Magnitude(net, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Iterative(net, 0.5, 0, nil, nil, nil, nil, train.DefaultConfig()); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestDensityEmptyNet(t *testing.T) {
+	net, err := nn.NewNetwork(nn.Vec(4), nn.NewActivation(act.ReLU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Density(net) != 1 {
+		t.Error("paramless net density should be 1")
+	}
+}

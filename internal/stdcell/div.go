@@ -1,0 +1,69 @@
+package stdcell
+
+import (
+	"deepsecure/internal/circuit"
+)
+
+// DivU returns floor(x/y) for unsigned words using the restoring-division
+// array: per quotient bit one subtract and one mux over the remainder.
+// x provides qbits quotient bits; y is the divisor (width may differ from
+// x). With y == 0 the quotient comes out all-ones (no trap in hardware).
+func DivU(b *circuit.Builder, x, y Word) Word {
+	qbits := len(x)
+	w := len(y) + 1 // remainder register: always < 2*y after the shift
+	v := ZeroExtend(b, y, w)
+	rem := Zeros(b, w)
+	q := make(Word, qbits)
+	for i := qbits - 1; i >= 0; i-- {
+		// rem = (rem << 1) | x[i]; the dropped MSB is provably zero.
+		shifted := make(Word, w)
+		shifted[0] = x[i]
+		copy(shifted[1:], rem[:w-1])
+		t, borrow := SubBorrow(b, shifted, v)
+		q[i] = b.INV(borrow)
+		rem = Mux(b, q[i], t, shifted)
+	}
+	return q
+}
+
+// DivFixed returns the signed fixed-point quotient matching
+// fixed.Num.Div bit-for-bit: q = trunc-toward-zero((x << fracBits) / y)
+// wrapped to the word width, with division by zero saturating to
+// Max/Min according to the dividend's sign.
+func DivFixed(b *circuit.Builder, x, y Word, fracBits int) Word {
+	n := len(x)
+	sameWidth(x, y)
+
+	// Magnitudes in n+1 bits so |Min| is representable.
+	xe := SignExtend(b, x, n+1)
+	ye := SignExtend(b, y, n+1)
+	ax := Abs(b, xe)
+	ay := Abs(b, ye)
+
+	// Dividend |x| << frac, unsigned width n+1+frac.
+	dw := n + 1 + fracBits
+	d := make(Word, dw)
+	for i := 0; i < fracBits; i++ {
+		d[i] = circuit.WFalse
+	}
+	copy(d[fracBits:], ax)
+
+	qU := DivU(b, d, ay)
+
+	// Apply the sign, then wrap to n bits (congruence mod 2^n survives
+	// the truncation).
+	neg := b.XOR(x.Sign(), y.Sign())
+	qS := Mux(b, neg, Neg(b, qU), qU)
+	out := qS[:n].Clone()
+
+	// Division by zero: saturate to Max (0111…1) or Min (1000…0) with the
+	// dividend's sign, mirroring fixed.Num.Div.
+	zero := IsZero(b, y)
+	sat := make(Word, n)
+	ns := b.INV(x.Sign())
+	for i := 0; i < n-1; i++ {
+		sat[i] = ns
+	}
+	sat[n-1] = x.Sign()
+	return Mux(b, zero, sat, out)
+}

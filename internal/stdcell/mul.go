@@ -1,0 +1,157 @@
+package stdcell
+
+import (
+	"deepsecure/internal/circuit"
+)
+
+// MulWrap returns the low len(x) bits of x*y (two's-complement wrapping
+// product). Both operands must have the same width. The schoolbook
+// construction computes one partial-product row per multiplier bit and
+// accumulates with ripple adders; rows driven by the same wire (e.g. the
+// replicated sign wire after sign extension) share their AND row.
+func MulWrap(b *circuit.Builder, x, y Word) Word {
+	sameWidth(x, y)
+	m := len(x)
+
+	// Cache AND rows keyed by the multiplier-bit wire, so sign-extended
+	// operands don't pay for the same row repeatedly.
+	rowCache := make(map[uint32]Word)
+	row := func(bit uint32) Word {
+		if r, ok := rowCache[bit]; ok {
+			return r
+		}
+		r := make(Word, m)
+		for i := range x {
+			r[i] = b.AND(x[i], bit)
+		}
+		rowCache[bit] = r
+		return r
+	}
+
+	var acc Word
+	for i := 0; i < m; i++ {
+		if y[i] == circuit.WFalse {
+			continue // zero row contributes nothing
+		}
+		var r Word
+		if y[i] == circuit.WTrue {
+			r = x
+		} else {
+			r = row(y[i])
+		}
+		width := m - i
+		if acc == nil {
+			acc = Zeros(b, m)
+			copy(acc[i:], r[:width])
+			continue
+		}
+		sum := Add(b, acc[i:], r[:width])
+		copy(acc[i:], sum)
+	}
+	if acc == nil {
+		return Zeros(b, m)
+	}
+	return acc
+}
+
+// MulFixed returns the fixed-point product of two n-bit words with
+// fracBits fractional bits: bits [fracBits, fracBits+n) of the exact
+// signed product, i.e. floor((x*y)/2^frac) wrapped to n bits — exactly
+// fixed.Num.Mul. Internally both operands are sign-extended to n+fracBits
+// bits (the product mod 2^(n+frac) determines all the bits we keep).
+func MulFixed(b *circuit.Builder, x, y Word, fracBits int) Word {
+	sameWidth(x, y)
+	n := len(x)
+	m := n + fracBits
+	xe := SignExtend(b, x, m)
+	ye := SignExtend(b, y, m)
+	p := MulWrap(b, xe, ye)
+	return p[fracBits:].Clone()
+}
+
+// MulFixedApprox is the truncated multiplier ablation: partial-product
+// bits whose weight falls below 2^(fracBits-guardBits) are skipped
+// entirely, trading ≤ a-few-ULP error for a large non-XOR reduction. This
+// mirrors the kind of approximation hardware synthesis applies when asked
+// for aggressive area optimization; it is benchmarked against MulFixed in
+// the ablation suite but is not used on the exact inference path.
+func MulFixedApprox(b *circuit.Builder, x, y Word, fracBits, guardBits int) Word {
+	sameWidth(x, y)
+	n := len(x)
+	m := n + fracBits
+	cut := fracBits - guardBits
+	if cut < 0 {
+		cut = 0
+	}
+	xe := SignExtend(b, x, m)
+	ye := SignExtend(b, y, m)
+
+	rowCache := make(map[uint32]Word)
+	row := func(bit uint32) Word {
+		if r, ok := rowCache[bit]; ok {
+			return r
+		}
+		r := make(Word, m)
+		for i := range xe {
+			r[i] = b.AND(xe[i], bit)
+		}
+		rowCache[bit] = r
+		return r
+	}
+
+	acc := Zeros(b, m)
+	for i := 0; i < m; i++ {
+		if ye[i] == circuit.WFalse {
+			continue
+		}
+		// Keep only product bits with index >= cut: row i contributes to
+		// bit positions i..m-1, so slice the row to start at max(i, cut).
+		start := i
+		if start < cut {
+			start = cut
+		}
+		lo := start - i // first row bit that still matters
+		var r Word
+		if ye[i] == circuit.WTrue {
+			r = xe
+		} else {
+			r = row(ye[i])
+		}
+		sum := Add(b, acc[start:], r[lo:lo+(m-start)])
+		copy(acc[start:], sum)
+	}
+	return acc[fracBits:].Clone()
+}
+
+// Dot computes the fixed-point dot product Σ xs[i]*ws[i] with n-bit
+// wrapping accumulation — the paper's matrix–vector multiplication row
+// (Table 3 last row): m multipliers and m-1 adders per output element.
+func Dot(b *circuit.Builder, xs, ws []Word, fracBits int) Word {
+	if len(xs) != len(ws) {
+		panic("stdcell: Dot operand count mismatch")
+	}
+	if len(xs) == 0 {
+		panic("stdcell: empty Dot")
+	}
+	acc := MulFixed(b, xs[0], ws[0], fracBits)
+	for i := 1; i < len(xs); i++ {
+		acc = Add(b, acc, MulFixed(b, xs[i], ws[i], fracBits))
+	}
+	return acc
+}
+
+// MatVec computes W·x for an (rows × cols) weight matrix given in row-major
+// Word order. Each output element is a Dot row.
+func MatVec(b *circuit.Builder, w []Word, x []Word, rows, cols, fracBits int) []Word {
+	if len(w) != rows*cols {
+		panic("stdcell: MatVec weight count mismatch")
+	}
+	if len(x) != cols {
+		panic("stdcell: MatVec input width mismatch")
+	}
+	out := make([]Word, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = Dot(b, x, w[r*cols:(r+1)*cols], fracBits)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package train implements the SGD training loop both pre-processing
+// steps depend on (paper §3.2): the initial model fit, the retraining
+// after data projection (Algorithm 1 line 33, "UpdateDL"), and the
+// accuracy-recovery retraining after pruning [28].
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsecure/internal/nn"
+)
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// LRDecay multiplies LR after each epoch (1 = constant).
+	LRDecay float64
+	// WeightDecay applies L2 shrinkage (w *= 1-LR*WeightDecay per batch).
+	// Keeping weights small keeps fixed-point pre-activations inside the
+	// Q3.12 range, which the wrapping circuits require.
+	WeightDecay float64
+	Seed        int64
+	// Verbose logs per-epoch loss through Logf when set.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultConfig returns a reasonable small-scale configuration.
+func DefaultConfig() Config {
+	return Config{Epochs: 10, BatchSize: 16, LR: 0.05, LRDecay: 0.95, Seed: 1}
+}
+
+// CrossEntropy returns the softmax cross-entropy loss of logits against
+// the target class.
+func CrossEntropy(logits []float64, target int) float64 {
+	m := max(logits)
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(v - m)
+	}
+	return math.Log(sum) - (logits[target] - m)
+}
+
+// SoftmaxGrad returns dL/dlogits for softmax cross-entropy.
+func SoftmaxGrad(logits []float64, target int) []float64 {
+	m := max(logits)
+	var sum float64
+	exp := make([]float64, len(logits))
+	for i, v := range logits {
+		exp[i] = math.Exp(v - m)
+		sum += exp[i]
+	}
+	g := make([]float64, len(logits))
+	for i := range g {
+		g[i] = exp[i] / sum
+	}
+	g[target]--
+	return g
+}
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Run trains the network in place and returns the final average training
+// loss. Every layer must implement nn.Backprop.
+func Run(net *nn.Network, xs [][]float64, ys []int, cfg Config) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, fmt.Errorf("train: %d samples vs %d labels", len(xs), len(ys))
+	}
+	layers := make([]nn.Backprop, len(net.Layers))
+	for i, l := range net.Layers {
+		bp, ok := l.(nn.Backprop)
+		if !ok {
+			return 0, fmt.Errorf("train: layer %d (%s) is not trainable", i, l.Name())
+		}
+		layers[i] = bp
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := cfg.LR
+	lastLoss := 0.0
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, s := range idx[start:end] {
+				h := xs[s]
+				for _, l := range layers {
+					h = l.ForwardT(h)
+				}
+				total += CrossEntropy(h, ys[s])
+				grad := SoftmaxGrad(h, ys[s])
+				for i := len(layers) - 1; i >= 0; i-- {
+					grad = layers[i].Backward(grad)
+				}
+			}
+			for _, l := range layers {
+				l.Step(lr, end-start)
+			}
+			if cfg.WeightDecay > 0 {
+				decayWeights(net, 1-lr*cfg.WeightDecay)
+			}
+		}
+		lastLoss = total / float64(len(idx))
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d: loss %.4f (lr %.4f)", ep, lastLoss, lr)
+		}
+		lr *= cfg.LRDecay
+	}
+	return lastLoss, nil
+}
+
+func decayWeights(net *nn.Network, factor float64) {
+	if factor >= 1 || factor <= 0 {
+		return
+	}
+	for _, p := range net.ParamLayers() {
+		w, mask := p.Weights()
+		for i := range w {
+			if mask[i] {
+				w[i] *= factor
+			}
+		}
+	}
+}
+
+// Accuracy returns the float-forward classification accuracy on (xs, ys).
+func Accuracy(net *nn.Network, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, x := range xs {
+		if net.Predict(x) == ys[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(xs))
+}
+
+// Error returns 1 - Accuracy, the paper's "validation error" δ.
+func Error(net *nn.Network, xs [][]float64, ys []int) float64 {
+	return 1 - Accuracy(net, xs, ys)
+}

@@ -1,0 +1,133 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/datasets"
+	"deepsecure/internal/nn"
+)
+
+func TestCrossEntropyAndGrad(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	loss := CrossEntropy(logits, 2)
+	// Softmax(3) ≈ 0.665 ⇒ -log ≈ 0.4076.
+	if math.Abs(loss-0.4076) > 0.001 {
+		t.Errorf("loss = %g", loss)
+	}
+	g := SoftmaxGrad(logits, 2)
+	sum := g[0] + g[1] + g[2]
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("grad sums to %g, want 0", sum)
+	}
+	if g[2] >= 0 {
+		t.Errorf("target grad = %g, want negative", g[2])
+	}
+}
+
+func TestTrainingLearnsSeparableData(t *testing.T) {
+	set, err := datasets.Generate(datasets.Config{
+		Name: "toy", Dim: 12, Classes: 3, Rank: 4, Noise: 0.05,
+		Train: 300, Test: 100, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.NewNetwork(nn.Vec(12),
+		nn.NewDense(16),
+		nn.NewActivation(act.TanhCORDIC),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(1)))
+	before := Accuracy(net, set.TestX, set.TestY)
+	cfg := DefaultConfig()
+	cfg.Epochs = 15
+	loss, err := Run(net, set.TrainX, set.TrainY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Accuracy(net, set.TestX, set.TestY)
+	if after < 0.85 {
+		t.Errorf("test accuracy %.2f (was %.2f, loss %.3f) — training failed to converge", after, before, loss)
+	}
+	if Error(net, set.TestX, set.TestY) != 1-after {
+		t.Error("Error() inconsistent with Accuracy()")
+	}
+}
+
+func TestTrainingConvNet(t *testing.T) {
+	set, err := datasets.Generate(datasets.Config{
+		Name: "toy-img", Dim: 64, Classes: 3, Rank: 6, Noise: 0.05,
+		Train: 240, Test: 80, Seed: 5, Smooth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.NewNetwork(nn.Shape{C: 1, H: 8, W: 8},
+		nn.NewConv2D(4, 3, 1, 1),
+		nn.NewActivation(act.ReLU),
+		nn.NewMaxPool2D(2, 0),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(2)))
+	cfg := DefaultConfig()
+	cfg.Epochs = 12
+	cfg.LR = 0.03
+	if _, err := Run(net, set.TrainX, set.TrainY, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(net, set.TestX, set.TestY); acc < 0.75 {
+		t.Errorf("conv accuracy %.2f — training failed", acc)
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	net, err := nn.NewNetwork(nn.Vec(2), nn.NewDense(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(net, nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Run(net, [][]float64{{1, 2}}, []int{0, 1}, DefaultConfig()); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestTrainingRespectsPruningMask(t *testing.T) {
+	set, err := datasets.Generate(datasets.Config{
+		Name: "toy", Dim: 8, Classes: 2, Rank: 3, Noise: 0.05,
+		Train: 150, Test: 50, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.NewNetwork(nn.Vec(8), nn.NewDense(6), nn.NewActivation(act.ReLU), nn.NewDense(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(3)))
+	d := net.Layers[0].(*nn.Dense)
+	for i := 0; i < len(d.Mask); i += 2 {
+		d.Mask[i] = false
+		d.W[i] = 0
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	if _, err := Run(net, set.TrainX, set.TrainY, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(d.Mask); i += 2 {
+		if d.W[i] != 0 {
+			t.Fatalf("masked weight %d drifted to %g during retraining", i, d.W[i])
+		}
+	}
+}
