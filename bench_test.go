@@ -560,4 +560,78 @@ func BenchmarkFullB3GateCount(b *testing.B) {
 	b.ReportMetric(float64(s.MaxLive), "maxLiveWires")
 }
 
+// BenchmarkSessionThroughput compares K independent one-shot sessions
+// against one multi-inference session of K inferences. The multi
+// variant pays the handshake, OT base phase, and netlist generation once
+// and replays the compiled tape thereafter; its inferences/sec must be
+// measurably higher.
+func BenchmarkSessionThroughput(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(64),
+		nn.NewDense(24),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(21)))
+	const k = 8
+	rng := rand.New(rand.NewSource(22))
+	xs := make([][]float64, k)
+	for i := range xs {
+		xs[i] = make([]float64, 64)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+
+	b.Run("oneShotSessions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh connection, server state, and client per sample:
+			// every inference re-negotiates and regenerates.
+			for _, x := range xs {
+				cConn, sConn, closer := transport.Pipe()
+				srv := &core.Server{Net: net, Fmt: fixed.Default}
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := srv.Serve(sConn); err != nil {
+						b.Error(err)
+					}
+				}()
+				cli := &core.Client{}
+				if _, _, err := cli.Infer(cConn, x); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				closer.Close()
+			}
+		}
+		b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
+	})
+
+	b.Run("multiInferenceSession", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cConn, sConn, closer := transport.Pipe()
+			srv := &core.Server{Net: net, Fmt: fixed.Default}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := srv.ServeSession(sConn); err != nil {
+					b.Error(err)
+				}
+			}()
+			cli := &core.Client{}
+			if _, _, err := cli.InferMany(cConn, xs); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+			closer.Close()
+		}
+		b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
+	})
+}
+
 func nowNs() int64 { return time.Now().UnixNano() }

@@ -50,6 +50,7 @@ func main() {
 	connect := flag.String("connect", "127.0.0.1:9090", "client target address")
 	model := flag.String("model", "small", "b1|b2|b3|b4|small")
 	seed := flag.Int64("seed", 1, "sample/weight seed")
+	n := flag.Int("n", 1, "client: inferences to run on one session")
 	flag.Parse()
 
 	switch *role {
@@ -59,25 +60,18 @@ func main() {
 			log.Fatal(err)
 		}
 		net0.InitWeights(rand.New(rand.NewSource(*seed)))
+		srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Logf = log.Printf
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving model %s on %s", net0.Arch(), ln.Addr())
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				log.Fatal(err)
-			}
-			go func() {
-				defer conn.Close()
-				start := time.Now()
-				if err := deepsecure.Serve(deepsecure.NewConn(conn), net0, deepsecure.DefaultFormat); err != nil {
-					log.Printf("session from %s failed: %v", conn.RemoteAddr(), err)
-					return
-				}
-				log.Printf("session from %s done in %v", conn.RemoteAddr(), time.Since(start).Round(time.Millisecond))
-			}()
+		log.Printf("serving model %s on %s (see deepsecure-serve for the full daemon)", net0.Arch(), ln.Addr())
+		if err := srv.Serve(ln); err != nil {
+			log.Fatal(err)
 		}
 
 	case "client":
@@ -94,19 +88,23 @@ func main() {
 			log.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(*seed))
-		x := make([]float64, m.In.Len())
-		for i := range x {
-			x[i] = rng.Float64()*2 - 1
+		xs := make([][]float64, *n)
+		for j := range xs {
+			xs[j] = make([]float64, m.In.Len())
+			for i := range xs[j] {
+				xs[j][i] = rng.Float64()*2 - 1
+			}
 		}
 		start := time.Now()
-		label, st, err := deepsecure.Infer(deepsecure.NewConn(conn), x)
+		labels, st, err := deepsecure.InferMany(deepsecure.NewConn(conn), xs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("label: %d\n", label)
-		fmt.Printf("%d AND gates, %.2f MB sent, %.2f MB received, %v\n",
-			st.ANDGates, float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
-			time.Since(start).Round(time.Millisecond))
+		fmt.Printf("labels: %v\n", labels)
+		elapsed := time.Since(start)
+		fmt.Printf("%d inference(s) on one session: %d AND gates, %.2f MB sent, %.2f MB received, %v (%.2f inf/s)\n",
+			st.Inferences, st.ANDGates, float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
+			elapsed.Round(time.Millisecond), float64(st.Inferences)/elapsed.Seconds())
 
 	default:
 		flag.Usage()

@@ -1,0 +1,109 @@
+// deepsecure-serve is the long-lived secure-inference daemon: it compiles
+// the model's GC netlist once, then serves concurrent multi-inference
+// sessions over TCP until interrupted.
+//
+//	deepsecure-serve -listen :9090 -model b3
+//
+// Clients connect with deepsecure.OpenSession / deepsecure.InferMany (or
+// the deepsecure-demo client for a quick smoke test) and run any number
+// of inferences per connection; the handshake, OT base phase, and netlist
+// generation are paid once per session, and the compiled tape is shared
+// read-only across all sessions. SIGINT/SIGTERM triggers a graceful
+// drain; a second signal force-closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepsecure"
+	"deepsecure/internal/benchmarks"
+	"deepsecure/internal/nn"
+)
+
+func buildModel(name string) (*nn.Network, error) {
+	switch name {
+	case "b1":
+		return benchmarks.B1()
+	case "b2":
+		return benchmarks.B2()
+	case "b3":
+		return benchmarks.B3()
+	case "b4":
+		return benchmarks.B4()
+	case "small":
+		return nn.NewNetwork(nn.Vec(32),
+			deepsecure.NewDense(16),
+			deepsecure.NewActivation(deepsecure.TanhCORDIC),
+			deepsecure.NewDense(4),
+		)
+	default:
+		return nil, fmt.Errorf("unknown model %q (want b1|b2|b3|b4|small)", name)
+	}
+}
+
+func main() {
+	listen := flag.String("listen", ":9090", "listen address")
+	model := flag.String("model", "small", "b1|b2|b3|b4|small")
+	seed := flag.Int64("seed", 1, "weight-initialization seed")
+	statsEvery := flag.Duration("stats", time.Minute, "stats log interval (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	net0, err := buildModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net0.InitWeights(rand.New(rand.NewSource(*seed)))
+
+	start := time.Now()
+	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Logf = log.Printf
+	andGates, totalGates := srv.ProgramStats()
+	log.Printf("compiled %s netlist in %v: %d gates (%d non-XOR)",
+		net0.Arch(), time.Since(start).Round(time.Millisecond), totalGates, andGates)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in",
+					st.Sessions, st.ActiveSessions, st.Inferences, st.Errors,
+					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6)
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("shutting down (draining up to %v; interrupt again to force)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			<-sigs
+			srv.Close()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s", *listen)
+	if err := srv.ListenAndServe(*listen); err != nil && err != deepsecure.ErrServerClosed {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	log.Printf("served %d session(s), %d inference(s) total", st.Sessions, st.Inferences)
+}

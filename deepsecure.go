@@ -32,6 +32,7 @@ import (
 	"deepsecure/internal/nn"
 	"deepsecure/internal/project"
 	"deepsecure/internal/prune"
+	"deepsecure/internal/server"
 	"deepsecure/internal/train"
 	"deepsecure/internal/transport"
 )
@@ -62,10 +63,26 @@ type (
 	PruneReport = prune.Report
 	// Conn is the framed two-party channel the protocol runs over.
 	Conn = transport.Conn
+	// Client caches compiled netlists across sessions against the same
+	// model and sources protocol randomness.
+	Client = core.Client
+	// Session is an open multi-inference protocol session (client side):
+	// one handshake, one OT base phase, one netlist compilation, many
+	// inferences.
+	Session = core.Session
+	// InferenceServer is a concurrent network service answering secure
+	// inference sessions with one shared compiled netlist.
+	InferenceServer = server.Server
+	// ServerStats is a snapshot of an InferenceServer's counters.
+	ServerStats = server.Stats
 )
 
 // DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.
 var DefaultFormat = fixed.Default
+
+// ErrServerClosed is returned by InferenceServer.Serve and ListenAndServe
+// after Shutdown or Close (the net/http contract).
+var ErrServerClosed = server.ErrServerClosed
 
 // Layer constructors.
 var (
@@ -99,9 +116,10 @@ func Pipe() (*Conn, *Conn, io.Closer) { return transport.Pipe() }
 // protocol channel.
 func NewConn(rw io.ReadWriter) *Conn { return transport.New(rw) }
 
-// Serve answers one secure-inference request on conn with the private
+// Serve answers one secure-inference session on conn with the private
 // model (the cloud-server role, Fig. 3). The client learns only the
-// label; the server learns nothing about the data or the result.
+// label; the server learns nothing about the data or the result. The
+// session runs as many inferences as the client asks for before closing.
 func Serve(conn *Conn, net *Network, f Format) error {
 	s := &core.Server{Net: net, Fmt: f}
 	return s.Serve(conn)
@@ -112,6 +130,43 @@ func Serve(conn *Conn, net *Network, f Format) error {
 func Infer(conn *Conn, x []float64) (int, *InferStats, error) {
 	c := &core.Client{}
 	return c.Infer(conn, x)
+}
+
+// InferMany classifies every sample over ONE session on conn: the
+// handshake, OT base phase, and netlist compilation are paid once and
+// amortized over all inferences. Returned stats are session totals.
+func InferMany(conn *Conn, xs [][]float64) ([]int, *InferStats, error) {
+	c := &core.Client{}
+	return c.InferMany(conn, xs)
+}
+
+// OpenSession opens a multi-inference session on conn. The caller runs
+// any number of Session.Infer calls and must Close the session (the
+// underlying connection stays open and owned by the caller). Each call
+// uses a fresh Client; to also reuse the client-side compiled netlist
+// across reconnects, create one Client and call its NewSession instead.
+func OpenSession(conn *Conn) (*Session, error) {
+	c := &Client{}
+	return c.NewSession(conn)
+}
+
+// NewServer builds a concurrent inference server around the private
+// model, compiling the inference netlist once up front; every client
+// session replays the same tape with fresh labels. Start it with
+// ListenAndServe or Serve, stop it with Shutdown or Close.
+func NewServer(net *Network, f Format) (*InferenceServer, error) {
+	return server.New(net, f)
+}
+
+// ListenAndServe compiles the model's netlist and serves secure
+// inference sessions on addr until the process exits (the
+// net/http-style convenience entry point).
+func ListenAndServe(addr string, net *Network, f Format) error {
+	srv, err := server.New(net, f)
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(addr)
 }
 
 // ServeOutsourced and friends expose the §3.3 constrained-client mode.

@@ -1,0 +1,3 @@
+module deepsecure
+
+go 1.24

@@ -44,7 +44,7 @@ func (c *Client) InferOutsourced(proxyConn, serverConn *transport.Conn, x []floa
 	}
 	f := spec.Format
 
-	var bits []bool
+	bits := make([]bool, 0, len(x)*f.Bits())
 	for _, v := range x {
 		bits = append(bits, f.FromFloatSat(v).Bits()...)
 	}
@@ -207,7 +207,7 @@ func (s *Server) ServeOutsourced(proxyConn, clientConn *transport.Conn) error {
 	}
 	inputBits := append(share, nn.WeightBits(s.Net, s.Fmt)...)
 
-	sink, err := s.newEvaluatorSink(proxyConn, rng, inputBits)
+	sink, err := newEvaluatorSink(proxyConn, rng, inputBits)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,14 @@
 // weights entering through IKNP oblivious transfer, and only the client
 // learning the inference label.
 //
+// Sessions are multi-inference: the parties negotiate once (hello,
+// architecture exchange, OT-extension base phase) and compile the public
+// netlist once into a replayable tape (netgen.Compile); each further
+// inference on the session only pays for fresh labels, garbling, and the
+// streamed tables. The wire protocol frames each inference with
+// MsgNextInfer and ends with MsgEndSession. One-shot Serve/Infer remain
+// as single-inference sessions.
+//
 // The package also implements the secure-outsourcing deployment (§3.3,
 // Fig. 4) where a resource-constrained client XOR-shares its input between
 // a proxy (who garbles) and the main server (who evaluates), and neither
@@ -13,11 +21,12 @@ package core
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
-	"deepsecure/internal/circuit"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/netgen"
@@ -26,24 +35,39 @@ import (
 	"deepsecure/internal/transport"
 )
 
-const protocolHello = "deepsecure/1"
+// protocolHello identifies the session protocol. Version 2 is the
+// multi-inference session framing (next-infer/end-session markers, one OT
+// base phase per session).
+const protocolHello = "deepsecure/2"
 
-// Stats summarizes one secure inference run.
+// Stats summarizes one secure inference — or, for session-level calls, a
+// whole session of them.
 type Stats struct {
 	BytesSent     int64
 	BytesReceived int64
 	Duration      time.Duration
 	ANDGates      int64
 	FreeGates     int64
+	Inferences    int64
 }
 
 // Server hosts the private model and evaluates garbled circuits for
-// clients.
+// clients. A Server may serve many sessions concurrently: the compiled
+// netlist program is built once (lazily, or eagerly via Precompile) and
+// shared read-only across all of them. Net and Fmt must not change after
+// the first session.
 type Server struct {
 	Net *nn.Network
 	Fmt fixed.Format
-	// Rng sources protocol randomness (crypto/rand when nil).
+	// Rng sources protocol randomness (crypto/rand when nil). When
+	// serving sessions from multiple goroutines, Rng must be nil or
+	// safe for concurrent use; deterministic readers like *math/rand.Rand
+	// are only for single-session tests.
 	Rng io.Reader
+
+	compileOnce sync.Once
+	prog        *netgen.Program
+	compileErr  error
 }
 
 func rngOrDefault(r io.Reader) io.Reader {
@@ -53,39 +77,103 @@ func rngOrDefault(r io.Reader) io.Reader {
 	return r
 }
 
-// Serve answers one inference request on conn (Fig. 3 server side): the
-// protocol reveals nothing about the weights to the client beyond the
-// public architecture/sparsity map, and nothing about the data or result
-// to the server.
+// Precompile builds the server's netlist program now instead of on the
+// first session. Safe to call concurrently; only the first call compiles.
+func (s *Server) Precompile() error {
+	_, err := s.Program()
+	return err
+}
+
+// Program returns the server's compiled netlist tape, compiling it on
+// first use. The result is shared by every session.
+func (s *Server) Program() (*netgen.Program, error) {
+	s.compileOnce.Do(func() {
+		s.prog, s.compileErr = netgen.Compile(s.Net, s.Fmt, netgen.Options{})
+	})
+	return s.prog, s.compileErr
+}
+
+// Serve answers one single-inference session on conn (Fig. 3 server
+// side): the protocol reveals nothing about the weights to the client
+// beyond the public architecture/sparsity map, and nothing about the data
+// or result to the server.
 func (s *Server) Serve(conn *transport.Conn) error {
+	_, err := s.ServeSession(conn)
+	return err
+}
+
+// ServeSession answers inference requests on conn until the client ends
+// the session (or disconnects at an inference boundary, which is treated
+// as an implicit close). The handshake, OT-extension base phase, and
+// netlist compilation happen once; each inference replays the compiled
+// tape with fresh evaluation state. Returns per-session statistics.
+func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
+	start := time.Now()
+	sent0, recv0 := conn.BytesSent, conn.BytesReceived
+	st := &Stats{}
+	finish := func() *Stats {
+		st.BytesSent = conn.BytesSent - sent0
+		st.BytesReceived = conn.BytesReceived - recv0
+		st.Duration = time.Since(start)
+		return st
+	}
 	rng := rngOrDefault(s.Rng)
 	hello, err := conn.Recv(transport.MsgHello)
 	if err != nil {
-		return err
+		return finish(), err
 	}
 	if string(hello) != protocolHello {
-		return fmt.Errorf("core: unknown protocol %q", hello)
+		return finish(), fmt.Errorf("core: unknown protocol %q", hello)
 	}
 	spec, err := s.Net.Spec(s.Fmt).Marshal()
 	if err != nil {
-		return err
+		return finish(), err
 	}
 	if err := conn.Send(transport.MsgArch, spec); err != nil {
-		return err
+		return finish(), err
 	}
-
-	sink, err := s.newEvaluatorSink(conn, rng, nn.WeightBits(s.Net, s.Fmt))
+	prog, err := s.Program()
 	if err != nil {
-		return err
+		return finish(), err
 	}
-	b := circuit.NewBuilder(sink, circuit.WithRecycling())
-	if _, err := netgen.Generate(b, s.Net, s.Fmt, netgen.Options{}); err != nil {
-		return err
-	}
-	if err := b.Err(); err != nil {
-		return err
+	weightBits := nn.WeightBits(s.Net, s.Fmt)
+
+	// OT-extension base phase: once per session, amortized over every
+	// weight transfer of every inference.
+	ots, err := ot.NewExtReceiver(conn, rng)
+	if err != nil {
+		return finish(), err
 	}
 
+	sink := &evaluatorSink{conn: conn, ots: ots, inputBits: weightBits}
+	for {
+		typ, _, err := conn.RecvAny(transport.MsgNextInfer, transport.MsgEndSession)
+		if err != nil {
+			// A disconnect at the inference boundary is a valid way to
+			// end a session; mid-inference it would surface below.
+			if errors.Is(err, io.EOF) {
+				return finish(), nil
+			}
+			return finish(), err
+		}
+		if typ == transport.MsgEndSession {
+			return finish(), nil
+		}
+		if err := s.serveOne(conn, prog, sink); err != nil {
+			return finish(), err
+		}
+		st.Inferences++
+	}
+}
+
+// serveOne evaluates one garbled execution of the compiled tape.
+func (s *Server) serveOne(conn *transport.Conn, prog *netgen.Program, sink *evaluatorSink) error {
+	if err := sink.beginInference(); err != nil {
+		return err
+	}
+	if err := prog.Tape.Replay(sink); err != nil {
+		return err
+	}
 	payload := make([]byte, 0, len(sink.outLabels)*gc.LabelSize)
 	for _, l := range sink.outLabels {
 		payload = append(payload, l[:]...)
@@ -96,85 +184,195 @@ func (s *Server) Serve(conn *transport.Conn) error {
 	return conn.Flush()
 }
 
-func (s *Server) newEvaluatorSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*evaluatorSink, error) {
-	constLabels, err := conn.Recv(transport.MsgConstLabels)
-	if err != nil {
-		return nil, err
-	}
-	if len(constLabels) != 2*gc.LabelSize {
-		return nil, fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
-	}
-	e := gc.NewEvaluator()
-	var lf, lt gc.Label
-	copy(lf[:], constLabels[:gc.LabelSize])
-	copy(lt[:], constLabels[gc.LabelSize:])
-	e.SetLabel(circuit.WFalse, lf)
-	e.SetLabel(circuit.WTrue, lt)
-
-	ots, err := ot.NewExtReceiver(conn, rng)
-	if err != nil {
-		return nil, err
-	}
-	return &evaluatorSink{e: e, conn: conn, ots: ots, inputBits: inputBits}, nil
-}
-
-// Client runs secure inferences against a server.
+// Client runs secure inferences against a server. A Client caches the
+// compiled netlist program per public model spec, so repeated sessions
+// against the same model skip generation entirely. Safe for concurrent
+// use by multiple sessions, provided Rng is nil or itself safe for
+// concurrent use (deterministic readers like *math/rand.Rand are only
+// for single-session tests).
 type Client struct {
 	// Rng sources protocol randomness (crypto/rand when nil).
 	Rng io.Reader
+
+	mu    sync.Mutex
+	progs map[string]*netgen.Program
 }
 
-// Infer classifies one sample (Fig. 3 client side) and returns the
-// inference label, which only the client learns.
-func (c *Client) Infer(conn *transport.Conn, x []float64) (int, *Stats, error) {
+// program returns the compiled tape for the given public spec, compiling
+// at most once per distinct spec.
+func (c *Client) program(specData []byte, net *nn.Network, f fixed.Format) (*netgen.Program, error) {
+	key := string(specData)
+	c.mu.Lock()
+	prog, ok := c.progs[key]
+	c.mu.Unlock()
+	if ok {
+		return prog, nil
+	}
+	prog, err := netgen.Compile(net, f, netgen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.progs == nil {
+		c.progs = make(map[string]*netgen.Program)
+	}
+	// Keep whichever compile won the race; they are identical.
+	if prior, ok := c.progs[key]; ok {
+		prog = prior
+	} else {
+		c.progs[key] = prog
+	}
+	c.mu.Unlock()
+	return prog, nil
+}
+
+// Session is an open multi-inference protocol session from the client
+// side. It is not safe for concurrent use; open one session per
+// goroutine.
+type Session struct {
+	conn  *transport.Conn
+	rng   io.Reader
+	f     fixed.Format
+	prog  *netgen.Program
+	ots   *ot.ExtSender
+	start time.Time
+
+	// Connection byte counters at session start, so Stats reports this
+	// session's traffic even when the conn carried earlier sessions.
+	sent0, recv0 int64
+
+	inputLen   int
+	inferences int64
+	andGates   int64
+	freeGates  int64
+	closed     bool
+	failed     bool // a mid-protocol error desynchronized the stream
+
+	// Reused per-inference buffers.
+	tablesBuf []byte
+	labelBuf  []byte
+
+	// lastOutZero records the previous inference's output zero-labels;
+	// tests use it to confirm labels are fresh per inference.
+	lastOutZero []gc.Label
+}
+
+// NewSession opens a session: protocol hello, architecture download,
+// netlist compilation (cached per spec), and the OT-extension base phase.
+func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	start := time.Now()
+	sent0, recv0 := conn.BytesSent, conn.BytesReceived
 	rng := rngOrDefault(c.Rng)
 	if err := conn.Send(transport.MsgHello, []byte(protocolHello)); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	specData, err := conn.Recv(transport.MsgArch)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	spec, err := nn.UnmarshalSpec(specData)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	net, err := spec.Build()
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	f := spec.Format
-	if got, want := len(x), net.In.Len(); got != want {
+	prog, err := c.program(specData, net, spec.Format)
+	if err != nil {
+		return nil, err
+	}
+	ots, err := ot.NewExtSender(conn, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		conn:     conn,
+		rng:      rng,
+		f:        spec.Format,
+		prog:     prog,
+		ots:      ots,
+		start:    start,
+		sent0:    sent0,
+		recv0:    recv0,
+		inputLen: net.In.Len(),
+	}, nil
+}
+
+// InputLen returns the model's expected feature count (from the public
+// architecture).
+func (s *Session) InputLen() int { return s.inputLen }
+
+// Infer classifies one sample on the open session and returns the
+// inference label, which only the client learns, plus statistics for this
+// inference alone (byte counts are deltas, not session totals).
+func (s *Session) Infer(x []float64) (int, *Stats, error) {
+	if s.closed {
+		return 0, nil, errors.New("core: session is closed")
+	}
+	if s.failed {
+		return 0, nil, errors.New("core: session is broken by an earlier protocol error")
+	}
+	start := time.Now()
+	sent0, recv0 := s.conn.BytesSent, s.conn.BytesReceived
+	if got, want := len(x), s.inputLen; got != want {
+		// Validated before any frame is sent: the session stays usable.
 		return 0, nil, fmt.Errorf("core: sample has %d features, model wants %d", got, want)
 	}
-
-	var bits []bool
+	bits := make([]bool, 0, len(x)*s.f.Bits())
 	for _, v := range x {
-		bits = append(bits, f.FromFloatSat(v).Bits()...)
+		bits = append(bits, s.f.FromFloatSat(v).Bits()...)
 	}
-	sink, err := newGarblerSink(conn, rng, bits)
+
+	// Any error past this point leaves the wire mid-inference: mark the
+	// session broken so a retry can't desynchronize the protocol.
+	fail := func(err error) (int, *Stats, error) {
+		s.failed = true
+		return 0, nil, err
+	}
+	if err := s.conn.Send(transport.MsgNextInfer, nil); err != nil {
+		return fail(err)
+	}
+	// Fresh garbling state per inference: a new Free-XOR delta and new
+	// wire labels, so transcripts of different inferences are unlinkable.
+	g, err := gc.NewGarbler(s.rng)
 	if err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
-	b := circuit.NewBuilder(sink, circuit.WithRecycling())
-	if _, err := netgen.Generate(b, net, f, netgen.Options{}); err != nil {
-		return 0, nil, err
+	lf, lt, err := g.ConstLabels()
+	if err != nil {
+		return fail(err)
 	}
-	if err := b.Err(); err != nil {
-		return 0, nil, err
+	constPayload := append(append(s.labelBuf[:0], lf[:]...), lt[:]...)
+	if err := s.conn.Send(transport.MsgConstLabels, constPayload); err != nil {
+		return fail(err)
+	}
+	sink := &garblerSink{
+		g:         g,
+		conn:      s.conn,
+		ots:       s.ots,
+		inputBits: bits,
+		tables:    s.tablesBuf[:0],
+		labelBuf:  s.labelBuf[:0],
+		outZero:   s.lastOutZero[:0],
+	}
+	if err := s.prog.Tape.Replay(sink); err != nil {
+		return fail(err)
 	}
 	if err := sink.flushTables(); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
+	// Hand the grown buffers back for the next inference on this session.
+	s.tablesBuf = sink.tables[:0]
+	s.labelBuf = sink.labelBuf[:0]
 
-	payload, err := conn.Recv(transport.MsgOutputLabels)
+	payload, err := s.conn.Recv(transport.MsgOutputLabels)
 	if err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	if len(payload) != len(sink.outZero)*gc.LabelSize {
-		return 0, nil, fmt.Errorf("core: output-label frame has %d bytes, want %d",
-			len(payload), len(sink.outZero)*gc.LabelSize)
+		return fail(fmt.Errorf("core: output-label frame has %d bytes, want %d",
+			len(payload), len(sink.outZero)*gc.LabelSize))
 	}
 	// Merge results (§2.2.2 step iv) with full-label authentication: a
 	// tampered or corrupted evaluation cannot yield a silently wrong
@@ -186,38 +384,92 @@ func (c *Client) Infer(conn *transport.Conn, x []float64) (int, *Stats, error) {
 		switch l {
 		case sink.outZero[i]:
 			// bit 0
-		case sink.outZero[i].XOR(sink.g.R):
+		case sink.outZero[i].XOR(g.R):
 			label |= 1 << uint(i)
 		default:
-			return 0, nil, fmt.Errorf("core: output label %d failed authentication", i)
+			return fail(fmt.Errorf("core: output label %d failed authentication", i))
 		}
 	}
+	s.lastOutZero = sink.outZero
+	s.inferences++
+	s.andGates += g.ANDGates
+	s.freeGates += g.FreeGates
 	st := &Stats{
-		BytesSent:     conn.BytesSent,
-		BytesReceived: conn.BytesReceived,
+		BytesSent:     s.conn.BytesSent - sent0,
+		BytesReceived: s.conn.BytesReceived - recv0,
 		Duration:      time.Since(start),
-		ANDGates:      sink.g.ANDGates,
-		FreeGates:     sink.g.FreeGates,
+		ANDGates:      g.ANDGates,
+		FreeGates:     g.FreeGates,
+		Inferences:    1,
 	}
 	return label, st, nil
 }
 
-func newGarblerSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*garblerSink, error) {
-	g, err := gc.NewGarbler(rng)
+// Close ends the session cleanly, telling the server to stop waiting for
+// further inferences. The underlying connection stays open (and owned by
+// the caller). Close is idempotent. On a session broken mid-protocol the
+// end marker is withheld (the stream is desynchronized; only tearing
+// down the connection releases the peer).
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.failed {
+		return nil
+	}
+	if err := s.conn.Send(transport.MsgEndSession, nil); err != nil {
+		return err
+	}
+	return s.conn.Flush()
+}
+
+// Stats returns cumulative statistics for the whole session so far,
+// including the handshake and OT base phase.
+func (s *Session) Stats() *Stats {
+	return &Stats{
+		BytesSent:     s.conn.BytesSent - s.sent0,
+		BytesReceived: s.conn.BytesReceived - s.recv0,
+		Duration:      time.Since(s.start),
+		ANDGates:      s.andGates,
+		FreeGates:     s.freeGates,
+		Inferences:    s.inferences,
+	}
+}
+
+// Infer classifies one sample over a fresh single-inference session
+// (Fig. 3 client side) and returns the inference label. The reported
+// stats cover the whole session including handshake and OT base phase.
+func (c *Client) Infer(conn *transport.Conn, x []float64) (int, *Stats, error) {
+	labels, st, err := c.InferMany(conn, [][]float64{x})
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	lf, lt, err := g.ConstLabels()
+	return labels[0], st, nil
+}
+
+// InferMany opens one session, classifies every sample on it, and closes
+// the session: N inferences for one handshake, one OT base phase, and one
+// netlist compilation. The returned stats are session totals.
+func (c *Client) InferMany(conn *transport.Conn, xs [][]float64) ([]int, *Stats, error) {
+	sess, err := c.NewSession(conn)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	payload := append(append([]byte{}, lf[:]...), lt[:]...)
-	if err := conn.Send(transport.MsgConstLabels, payload); err != nil {
-		return nil, err
+	labels := make([]int, 0, len(xs))
+	for _, x := range xs {
+		label, _, err := sess.Infer(x)
+		if err != nil {
+			// Best-effort close so a server blocked at the inference
+			// boundary (e.g. after a local validation error) is released
+			// instead of waiting for the connection to die.
+			sess.Close() //nolint:errcheck — the Infer error is the one to report
+			return nil, nil, err
+		}
+		labels = append(labels, label)
 	}
-	ots, err := ot.NewExtSender(conn, rng)
-	if err != nil {
-		return nil, err
+	if err := sess.Close(); err != nil {
+		return nil, nil, err
 	}
-	return &garblerSink{g: g, conn: conn, ots: ots, inputBits: inputBits}, nil
+	return labels, sess.Stats(), nil
 }

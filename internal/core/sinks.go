@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
@@ -14,10 +15,11 @@ import (
 // whole netlist's tables in memory (§3.5).
 const tableChunk = 1 << 20
 
-// garblerSink drives the GC garbler from the netlist generator's event
-// stream: it assigns input labels (sending its own, obliviously
-// transferring the evaluator's), streams garbled tables, and captures the
-// output decode information.
+// garblerSink drives the GC garbler from the netlist event stream (live
+// generation or tape replay): it assigns input labels (sending its own,
+// obliviously transferring the evaluator's), streams garbled tables, and
+// captures the output decode information. One sink serves one inference;
+// its buffers may be recycled into the next sink by the session.
 type garblerSink struct {
 	g    *gc.Garbler
 	conn *transport.Conn
@@ -26,8 +28,9 @@ type garblerSink struct {
 	inputBits []bool // the garbler's own private input bits, in order
 	cursor    int
 
-	tables  []byte
-	outZero []gc.Label // zero-labels of output wires, in output order
+	tables   []byte
+	labelBuf []byte     // reused payload buffer for input-label batches
+	outZero  []gc.Label // zero-labels of output wires, in output order
 }
 
 func (s *garblerSink) flushTables() error {
@@ -47,7 +50,7 @@ func (s *garblerSink) OnInputs(p circuit.Party, ws []uint32) error {
 		return err
 	}
 	if p == circuit.Garbler {
-		payload := make([]byte, 0, len(ws)*gc.LabelSize)
+		payload := s.labelBuf[:0]
 		for _, w := range ws {
 			if _, err := s.g.AssignInput(w); err != nil {
 				return err
@@ -62,6 +65,7 @@ func (s *garblerSink) OnInputs(p circuit.Party, ws []uint32) error {
 			s.cursor++
 			payload = append(payload, l[:]...)
 		}
+		s.labelBuf = payload[:0] // keep the (possibly grown) buffer
 		return s.conn.Send(transport.MsgInputLabels, payload)
 	}
 	// Evaluator inputs travel by OT extension: one batch per declaration.
@@ -121,8 +125,34 @@ func (s *garblerSink) decodeBits() []bool {
 	return out
 }
 
+// newGarblerSink builds a self-contained single-inference garbler sink:
+// fresh garbler, const labels on the wire, and its own OT base phase.
+// The session path instead shares one ExtSender across inferences; this
+// constructor remains for the one-shot outsourced deployment.
+func newGarblerSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*garblerSink, error) {
+	g, err := gc.NewGarbler(rng)
+	if err != nil {
+		return nil, err
+	}
+	lf, lt, err := g.ConstLabels()
+	if err != nil {
+		return nil, err
+	}
+	payload := append(append([]byte{}, lf[:]...), lt[:]...)
+	if err := conn.Send(transport.MsgConstLabels, payload); err != nil {
+		return nil, err
+	}
+	ots, err := ot.NewExtSender(conn, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &garblerSink{g: g, conn: conn, ots: ots, inputBits: inputBits}, nil
+}
+
 // evaluatorSink drives the GC evaluator: it receives input labels (its own
 // via OT), consumes streamed garbled tables, and collects output labels.
+// One sink serves a whole session; beginInference resets it for the next
+// garbled execution while keeping the shared OT extension state.
 type evaluatorSink struct {
 	e    *gc.Evaluator
 	conn *transport.Conn
@@ -133,6 +163,29 @@ type evaluatorSink struct {
 
 	pending   []byte
 	outLabels []gc.Label
+}
+
+// beginInference receives the fresh constant labels that open one garbled
+// execution and resets the per-inference evaluation state.
+func (s *evaluatorSink) beginInference() error {
+	constLabels, err := s.conn.Recv(transport.MsgConstLabels)
+	if err != nil {
+		return err
+	}
+	if len(constLabels) != 2*gc.LabelSize {
+		return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
+	}
+	e := gc.NewEvaluator()
+	var lf, lt gc.Label
+	copy(lf[:], constLabels[:gc.LabelSize])
+	copy(lt[:], constLabels[gc.LabelSize:])
+	e.SetLabel(circuit.WFalse, lf)
+	e.SetLabel(circuit.WTrue, lt)
+	s.e = e
+	s.cursor = 0
+	s.pending = s.pending[:0]
+	s.outLabels = s.outLabels[:0]
+	return nil
 }
 
 // OnInputs implements circuit.Sink.
@@ -200,4 +253,20 @@ func (s *evaluatorSink) OnOutputs(ws []uint32) error {
 func (s *evaluatorSink) OnDrop(w uint32) error {
 	s.e.Drop(w)
 	return nil
+}
+
+// newEvaluatorSink builds a self-contained single-inference evaluator
+// sink with its own OT base phase, for the one-shot outsourced
+// deployment; session serving shares one ExtReceiver instead.
+func newEvaluatorSink(conn *transport.Conn, rng io.Reader, inputBits []bool) (*evaluatorSink, error) {
+	sink := &evaluatorSink{conn: conn, inputBits: inputBits}
+	if err := sink.beginInference(); err != nil {
+		return nil, err
+	}
+	ots, err := ot.NewExtReceiver(conn, rng)
+	if err != nil {
+		return nil, err
+	}
+	sink.ots = ots
+	return sink, nil
 }

@@ -51,7 +51,7 @@ func TestCalibrate(t *testing.T) {
 	if co.NonXORNs <= co.XORNs {
 		t.Errorf("AND gates must cost more than XOR: %.1fns vs %.1fns", co.NonXORNs, co.XORNs)
 	}
-	if co.NonXORNs > 10000 {
+	if co.NonXORNs > 10000 && !raceEnabled {
 		t.Errorf("AND cost %.1fns implausibly slow", co.NonXORNs)
 	}
 	t.Logf("calibrated: XOR %.1f ns, non-XOR %.1f ns (%s)", co.XORNs, co.NonXORNs, co.Source)

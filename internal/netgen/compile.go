@@ -1,0 +1,39 @@
+package netgen
+
+import (
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+)
+
+// Program is a compiled inference netlist: the recorded event tape plus
+// its wire-layout and gate accounting. The netlist is a public,
+// deterministic function of the (architecture, format, options) triple,
+// so both protocol parties compile byte-identical programs independently
+// and replay them in lockstep — once per inference, with fresh labels,
+// without ever re-running the generator.
+//
+// A Program is immutable after Compile and safe for concurrent replay
+// from any number of sessions.
+type Program struct {
+	Tape   *circuit.Tape
+	Layout *Layout
+	Stats  circuit.Stats
+}
+
+// Compile generates the network's netlist once, recording it as a
+// replayable tape. Generation cost (layer traversal, constant folding,
+// wire recycling) is paid here; each subsequent inference only pays for
+// the cryptography while Replay streams the recorded events.
+func Compile(net *nn.Network, f fixed.Format, opt Options) (*Program, error) {
+	tape := circuit.NewTape()
+	b := circuit.NewBuilder(tape, circuit.WithRecycling())
+	lay, err := Generate(b, net, f, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return &Program{Tape: tape, Layout: lay, Stats: b.Stats()}, nil
+}

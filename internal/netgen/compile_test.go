@@ -1,0 +1,143 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+)
+
+func TestCompileMatchesGenerate(t *testing.T) {
+	net, err := nn.NewNetwork(nn.Vec(5),
+		nn.NewDense(4),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(1)))
+	f := fixed.Default
+
+	prog, err := Compile(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compiled stats must agree with a direct streaming count.
+	want, wantLay, err := Count(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prog.Stats
+	got.MaxLive = want.MaxLive // replay does not re-measure liveness
+	if got != want {
+		t.Fatalf("compiled stats %+v, streaming stats %+v", got, want)
+	}
+	if *prog.Layout != *wantLay {
+		t.Fatalf("compiled layout %+v, streaming layout %+v", prog.Layout, wantLay)
+	}
+
+	// Replaying the tape into a counting pass re-derives the gate stats.
+	tapeStats := prog.Tape.Stats()
+	if tapeStats.AND != want.AND || tapeStats.XOR != want.XOR || tapeStats.INV != want.INV {
+		t.Fatalf("tape stats %+v disagree with %+v", tapeStats, want)
+	}
+}
+
+// plainSink evaluates the event stream on plaintext bits the way the GC
+// sinks do: input values are bound when their declaration event arrives
+// (wire ids recycle, so upfront binding would be wrong), gates execute in
+// stream order, outputs are captured at their event.
+type plainSink struct {
+	vals map[uint32]bool
+	gb   []bool // garbler input bits, consumed in declaration order
+	eb   []bool // evaluator input bits
+	out  []bool
+}
+
+func (s *plainSink) OnInputs(p circuit.Party, ws []uint32) error {
+	src := &s.gb
+	if p == circuit.Evaluator {
+		src = &s.eb
+	}
+	for _, w := range ws {
+		s.vals[w] = (*src)[0]
+		*src = (*src)[1:]
+	}
+	return nil
+}
+
+func (s *plainSink) OnGate(g circuit.Gate) error {
+	switch g.Op {
+	case circuit.XOR:
+		s.vals[g.Out] = s.vals[g.A] != s.vals[g.B]
+	case circuit.AND:
+		s.vals[g.Out] = s.vals[g.A] && s.vals[g.B]
+	case circuit.INV:
+		s.vals[g.Out] = !s.vals[g.A]
+	}
+	return nil
+}
+
+func (s *plainSink) OnOutputs(ws []uint32) error {
+	for _, w := range ws {
+		s.out = append(s.out, s.vals[w])
+	}
+	return nil
+}
+
+func (s *plainSink) OnDrop(w uint32) error { return nil }
+
+func TestCompiledTapeEvaluates(t *testing.T) {
+	// Replay the compiled tape through a plaintext in-stream evaluator
+	// and check it computes the same label as the fixed-point forward
+	// pass — the tape is a faithful recording of the netlist.
+	net, err := nn.NewNetwork(nn.Vec(4),
+		nn.NewDense(3),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(2)))
+	f := fixed.Default
+
+	prog, err := Compile(net, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3; trial++ {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		var xb []bool
+		for _, v := range x {
+			xb = append(xb, f.FromFloatSat(v).Bits()...)
+		}
+		sink := &plainSink{
+			vals: map[uint32]bool{circuit.WTrue: true},
+			gb:   xb,
+			eb:   nn.WeightBits(net, f),
+		}
+		if err := prog.Tape.Replay(sink); err != nil {
+			t.Fatal(err)
+		}
+		label := 0
+		for i, b := range sink.out {
+			if b {
+				label |= 1 << uint(i)
+			}
+		}
+		if want := net.PredictFixed(f, x); label != want {
+			t.Fatalf("trial %d: tape circuit label %d, plaintext label %d", trial, label, want)
+		}
+	}
+}

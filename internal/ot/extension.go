@@ -13,15 +13,26 @@ import (
 // k is the OT-extension security parameter: the number of base OTs.
 const k = 128
 
-// prg expands a 16-byte seed into n pseudorandom bytes with AES-CTR.
-func prg(seed Msg, n int) []byte {
+// prgStream returns the AES-CTR keystream generator for a 16-byte seed.
+// Each extension party keeps one stateful stream per base-OT seed and
+// draws the NEXT keystream bytes for every batch: masks are never reused
+// across batches, so observing two u-matrices reveals nothing about the
+// receiver's choice bits (reusing the stream from offset 0 would leak
+// their XOR). Both parties consume exactly mBytes per batch per seed,
+// keeping the streams synchronized without communication.
+func prgStream(seed Msg) cipher.Stream {
 	block, err := aes.NewCipher(seed[:])
 	if err != nil {
 		panic(fmt.Sprintf("ot: prg cipher: %v", err))
 	}
-	out := make([]byte, n)
 	var iv [16]byte
-	cipher.NewCTR(block, iv[:]).XORKeyStream(out, out)
+	return cipher.NewCTR(block, iv[:])
+}
+
+// prgNext draws the next n keystream bytes from a seed stream.
+func prgNext(s cipher.Stream, n int) []byte {
+	out := make([]byte, n)
+	s.XORKeyStream(out, out)
 	return out
 }
 
@@ -57,12 +68,12 @@ func transposeToRows(cols [][]byte, m int) [][16]byte {
 // ExtSender is the IKNP sender: it holds the message pairs in each
 // extended OT (the garbler, whose pairs are wire-label pairs).
 type ExtSender struct {
-	conn  *transport.Conn
-	s     []bool // secret base-OT choices
-	sRow  [16]byte
-	seeds []Msg // k_{s_i}
-	h     *gc.Hasher
-	idx   uint64
+	conn    *transport.Conn
+	s       []bool // secret base-OT choices
+	sRow    [16]byte
+	streams []cipher.Stream // stateful PRG per k_{s_i}, advanced per batch
+	h       *gc.Hasher
+	idx     uint64
 }
 
 // NewExtSender runs the base phase (as base-OT receiver with a secret
@@ -80,7 +91,11 @@ func NewExtSender(conn *transport.Conn, rng io.Reader) (*ExtSender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ot: extension base phase (receive): %w", err)
 	}
-	es := &ExtSender{conn: conn, s: s, seeds: seeds, h: gc.NewHasher()}
+	es := &ExtSender{conn: conn, s: s, h: gc.NewHasher()}
+	es.streams = make([]cipher.Stream, k)
+	for i, seed := range seeds {
+		es.streams[i] = prgStream(seed)
+	}
 	copy(es.sRow[:], packBits(s))
 	return es, nil
 }
@@ -102,7 +117,7 @@ func (es *ExtSender) Send(pairs [][2]Msg) error {
 	}
 	cols := make([][]byte, k)
 	for i := 0; i < k; i++ {
-		q := prg(es.seeds[i], mBytes)
+		q := prgNext(es.streams[i], mBytes)
 		if es.s[i] {
 			ui := u[i*mBytes : (i+1)*mBytes]
 			for j := range q {
@@ -137,11 +152,11 @@ func (es *ExtSender) Send(pairs [][2]Msg) error {
 // ExtReceiver is the IKNP receiver (the evaluator, whose choice bits are
 // its private input bits).
 type ExtReceiver struct {
-	conn   *transport.Conn
-	seeds0 []Msg
-	seeds1 []Msg
-	h      *gc.Hasher
-	idx    uint64
+	conn     *transport.Conn
+	streams0 []cipher.Stream // stateful PRGs, advanced per batch
+	streams1 []cipher.Stream
+	h        *gc.Hasher
+	idx      uint64
 }
 
 // NewExtReceiver runs the base phase (as base-OT sender with random seed
@@ -149,16 +164,19 @@ type ExtReceiver struct {
 func NewExtReceiver(conn *transport.Conn, rng io.Reader) (*ExtReceiver, error) {
 	er := &ExtReceiver{conn: conn, h: gc.NewHasher()}
 	pairs := make([][2]Msg, k)
-	er.seeds0 = make([]Msg, k)
-	er.seeds1 = make([]Msg, k)
+	er.streams0 = make([]cipher.Stream, k)
+	er.streams1 = make([]cipher.Stream, k)
 	for i := 0; i < k; i++ {
-		if _, err := io.ReadFull(rng, er.seeds0[i][:]); err != nil {
+		var seed0, seed1 Msg
+		if _, err := io.ReadFull(rng, seed0[:]); err != nil {
 			return nil, fmt.Errorf("ot: receiver randomness: %w", err)
 		}
-		if _, err := io.ReadFull(rng, er.seeds1[i][:]); err != nil {
+		if _, err := io.ReadFull(rng, seed1[:]); err != nil {
 			return nil, fmt.Errorf("ot: receiver randomness: %w", err)
 		}
-		pairs[i] = [2]Msg{er.seeds0[i], er.seeds1[i]}
+		er.streams0[i] = prgStream(seed0)
+		er.streams1[i] = prgStream(seed1)
+		pairs[i] = [2]Msg{seed0, seed1}
 	}
 	if err := BaseSend(er.conn, rng, pairs); err != nil {
 		return nil, fmt.Errorf("ot: extension base phase (send): %w", err)
@@ -178,8 +196,8 @@ func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
 	tCols := make([][]byte, k)
 	u := make([]byte, 0, k*mBytes)
 	for i := 0; i < k; i++ {
-		t := prg(er.seeds0[i], mBytes)
-		g1 := prg(er.seeds1[i], mBytes)
+		t := prgNext(er.streams0[i], mBytes)
+		g1 := prgNext(er.streams1[i], mBytes)
 		ui := make([]byte, mBytes)
 		for j := range ui {
 			ui[j] = t[j] ^ g1[j] ^ r[j]

@@ -217,9 +217,9 @@ func TestTransposeRoundTrip(t *testing.T) {
 func TestPRGDeterministicAndDistinct(t *testing.T) {
 	var s1, s2 Msg
 	s2[0] = 1
-	a := prg(s1, 64)
-	b := prg(s1, 64)
-	c := prg(s2, 64)
+	a := prgNext(prgStream(s1), 64)
+	b := prgNext(prgStream(s1), 64)
+	c := prgNext(prgStream(s2), 64)
 	if !bytes.Equal(a, b) {
 		t.Error("prg not deterministic")
 	}
@@ -229,6 +229,172 @@ func TestPRGDeterministicAndDistinct(t *testing.T) {
 	var zero [64]byte
 	if bytes.Equal(a, zero[:]) {
 		t.Error("prg output all zero")
+	}
+}
+
+func TestPRGStreamAdvancesAcrossDraws(t *testing.T) {
+	// Consecutive draws from one stream must never repeat keystream:
+	// reusing a mask across OT batches would leak the XOR of the
+	// receiver's choice bits between batches.
+	s := prgStream(Msg{})
+	a := prgNext(s, 64)
+	b := prgNext(s, 64)
+	if bytes.Equal(a, b) {
+		t.Error("stream repeats keystream across draws")
+	}
+	// Draw boundaries don't matter, only total bytes: both parties stay
+	// synchronized even when batch sizes differ over time.
+	s1, s2 := prgStream(Msg{0: 7}), prgStream(Msg{0: 7})
+	x := append(prgNext(s1, 10), prgNext(s1, 22)...)
+	y := prgNext(s2, 32)
+	if !bytes.Equal(x, y) {
+		t.Error("keystream depends on draw boundaries")
+	}
+}
+
+// memPipe is an unbounded in-memory byte queue with blocking reads, used
+// to build a duplex whose raw wire bytes the test can record.
+type memPipe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+}
+
+func newMemPipe() *memPipe {
+	p := &memPipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *memPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *memPipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+type duplexRW struct {
+	r, w *memPipe
+}
+
+func (d duplexRW) Read(b []byte) (int, error)  { return d.r.Read(b) }
+func (d duplexRW) Write(b []byte) (int, error) { return d.w.Write(b) }
+
+type recordingRW struct {
+	duplexRW
+	mu  sync.Mutex
+	log []byte
+}
+
+func (r *recordingRW) Write(b []byte) (int, error) {
+	r.mu.Lock()
+	r.log = append(r.log, b...)
+	r.mu.Unlock()
+	return r.duplexRW.Write(b)
+}
+
+func (r *recordingRW) snapshot() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.log...)
+}
+
+// frames parses a recorded byte stream into (type, payload) frames.
+func parseFrames(t *testing.T, raw []byte) map[transport.MsgType][][]byte {
+	t.Helper()
+	out := map[transport.MsgType][][]byte{}
+	for len(raw) > 0 {
+		if len(raw) < 5 {
+			t.Fatalf("truncated frame header (%d bytes left)", len(raw))
+		}
+		typ := transport.MsgType(raw[0])
+		n := int(uint32(raw[1]) | uint32(raw[2])<<8 | uint32(raw[3])<<16 | uint32(raw[4])<<24)
+		raw = raw[5:]
+		if len(raw) < n {
+			t.Fatalf("truncated %v frame payload", typ)
+		}
+		out[typ] = append(out[typ], append([]byte(nil), raw[:n]...))
+		raw = raw[n:]
+	}
+	return out
+}
+
+func TestUMatrixMasksNotReusedAcrossBatches(t *testing.T) {
+	// Two extension batches with IDENTICAL choice vectors must put
+	// different u-matrices on the wire: if the PRG restarted per batch,
+	// u1 XOR u2 would equal the XOR of the two batches' choice-bit rows
+	// (zero here), letting the sender detect — and in general read —
+	// relations between the receiver's private choice bits.
+	ab, ba := newMemPipe(), newMemPipe()
+	senderRW := duplexRW{r: ba, w: ab}
+	receiverRW := &recordingRW{duplexRW: duplexRW{r: ab, w: ba}}
+	a, b := transport.New(senderRW), transport.New(receiverRW)
+
+	rng := rand.New(rand.NewSource(31))
+	const m = 64
+	pairs1 := randPairs(rng, m)
+	pairs2 := randPairs(rng, m)
+	choices := randChoices(rng, m) // same choices both batches
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(32)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		if err := s.Send(pairs1); err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = s.Send(pairs2)
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := r.Receive(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := r.Receive(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	for i, c := range choices {
+		want1, want2 := pairs1[i][0], pairs2[i][0]
+		if c {
+			want1, want2 = pairs1[i][1], pairs2[i][1]
+		}
+		if got1[i] != want1 || got2[i] != want2 {
+			t.Fatalf("OT %d incorrect across batches", i)
+		}
+	}
+	us := parseFrames(t, receiverRW.snapshot())[transport.MsgOTExtU]
+	if len(us) != 2 {
+		t.Fatalf("recorded %d u-matrix frames, want 2", len(us))
+	}
+	if bytes.Equal(us[0], us[1]) {
+		t.Fatal("u-matrix reused across batches: PRG masks repeat, choice bits leak")
 	}
 }
 

@@ -1,0 +1,232 @@
+// Package server turns a model-owning core.Server into a long-lived
+// concurrent network service: a net.Listener accept loop with one
+// goroutine per connection, where every session shares the one compiled
+// netlist tape (read-only) and pays the handshake and OT base phase only
+// once per connection. This is the deployment shape the paper's
+// scalability argument (§3.5, streaming constant-memory execution) is
+// aimed at: the server's marginal cost per client is the cryptography,
+// not netlist generation.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepsecure/internal/core"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/transport"
+)
+
+// Stats is a snapshot of a server's lifetime counters.
+type Stats struct {
+	Sessions       int64 // sessions accepted
+	ActiveSessions int64 // sessions currently being served
+	Inferences     int64 // inferences completed across all sessions
+	Errors         int64 // sessions that ended with a protocol error
+	BytesSent      int64 // protocol bytes sent across all sessions
+	BytesReceived  int64 // protocol bytes received across all sessions
+}
+
+// Server serves secure-inference sessions over TCP (or any net.Listener).
+// Create with New, start with Serve or ListenAndServe, stop with
+// Shutdown (graceful) or Close (abrupt).
+type Server struct {
+	core *core.Server
+
+	// Logf, when set, receives per-session log lines (e.g. log.Printf).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+
+	sessions   atomic.Int64
+	active     atomic.Int64
+	inferences atomic.Int64
+	errors     atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+}
+
+// New builds a server around the private model and eagerly compiles the
+// inference netlist, so the first client doesn't pay generation latency
+// and every session replays the same shared tape.
+func New(model *nn.Network, f fixed.Format) (*Server, error) {
+	cs := &core.Server{Net: model, Fmt: f}
+	if err := cs.Precompile(); err != nil {
+		return nil, fmt.Errorf("server: compile netlist: %w", err)
+	}
+	return &Server{core: cs, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// ProgramStats exposes gate counts of the compiled netlist (for logging).
+func (s *Server) ProgramStats() (andGates, totalGates int64) {
+	prog, err := s.core.Program()
+	if err != nil {
+		return 0, 0
+	}
+	st := prog.Stats
+	return st.AND, st.Total()
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown
+// or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close, mirroring
+// net/http's contract.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln and serves one session per connection,
+// each in its own goroutine. It blocks until the listener fails or the
+// server is shut down, in which case it returns ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	s.sessions.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	start := time.Now()
+	tc := transport.New(conn)
+	st, err := s.core.ServeSession(tc)
+	if st != nil {
+		s.inferences.Add(st.Inferences)
+		s.bytesSent.Add(st.BytesSent)
+		s.bytesRecv.Add(st.BytesReceived)
+	}
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.errors.Add(1)
+		s.logf("session from %s failed after %d inference(s): %v",
+			conn.RemoteAddr(), sessionInferences(st), err)
+		return
+	}
+	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v",
+		conn.RemoteAddr(), sessionInferences(st),
+		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
+		time.Since(start).Round(time.Millisecond))
+}
+
+func sessionInferences(st *core.Stats) int64 {
+	if st == nil {
+		return 0
+	}
+	return st.Inferences
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:       s.sessions.Load(),
+		ActiveSessions: s.active.Load(),
+		Inferences:     s.inferences.Load(),
+		Errors:         s.errors.Load(),
+		BytesSent:      s.bytesSent.Load(),
+		BytesReceived:  s.bytesRecv.Load(),
+	}
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// sessions to finish, or for ctx to expire — in which case the remaining
+// connections are force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeListener()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the listener and force-closes every active connection.
+func (s *Server) Close() error {
+	s.closeListener()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closeListener() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}

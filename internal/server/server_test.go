@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"deepsecure/internal/act"
+	"deepsecure/internal/core"
+	"deepsecure/internal/fixed"
+	"deepsecure/internal/nn"
+	"deepsecure/internal/transport"
+)
+
+func testModel(t testing.TB) *nn.Network {
+	t.Helper()
+	model, err := nn.NewNetwork(nn.Vec(6),
+		nn.NewDense(5),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.InitWeights(rand.New(rand.NewSource(42)))
+	return model
+}
+
+// startServer launches a Server on a loopback listener and returns its
+// address plus a stop function.
+func startServer(t testing.TB, model *nn.Network) (*Server, string, func()) {
+	t.Helper()
+	srv, err := New(model, fixed.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+func sample(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return x
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	// A real TCP socket, not transport.Pipe: exercises framing, partial
+	// reads, and connection teardown against the OS network stack.
+	model := testModel(t)
+	srv, addr, stop := startServer(t, model)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	x := sample(rng, 6)
+	cli := &core.Client{Rng: rand.New(rand.NewSource(8))}
+	label, st, err := cli.Infer(transport.New(nc), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := model.PredictFixed(fixed.Default, x); label != want {
+		t.Fatalf("secure label %d over TCP, plaintext label %d", label, want)
+	}
+	if st.BytesSent == 0 || st.ANDGates == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Inferences != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.Inferences != 1 || got.Sessions != 1 {
+		t.Errorf("server stats %+v, want 1 session / 1 inference", got)
+	}
+}
+
+func TestMultiInferencePerConnection(t *testing.T) {
+	model := testModel(t)
+	srv, addr, stop := startServer(t, model)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	cli := &core.Client{Rng: rand.New(rand.NewSource(9))}
+	sess, err := cli.NewSession(transport.New(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	const k = 3
+	for i := 0; i < k; i++ {
+		x := sample(rng, 6)
+		label, _, err := sess.Infer(x)
+		if err != nil {
+			t.Fatalf("inference %d: %v", i, err)
+		}
+		if want := model.PredictFixed(fixed.Default, x); label != want {
+			t.Fatalf("inference %d: secure %d, plaintext %d", i, label, want)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the server goroutine to record the finished session.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Inferences != k && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.Inferences != k || got.Sessions != 1 || got.Errors != 0 {
+		t.Errorf("server stats %+v, want %d inferences on 1 session", got, k)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	// ≥4 clients inferring simultaneously against one server instance,
+	// each running a multi-inference session. Must pass under -race: the
+	// compiled tape is the shared read-only hot object.
+	model := testModel(t)
+	srv, addr, stop := startServer(t, model)
+	defer stop()
+
+	const clients = 5
+	const perClient = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer nc.Close()
+			cli := &core.Client{Rng: rand.New(rand.NewSource(int64(100 + c)))}
+			rng := rand.New(rand.NewSource(int64(200 + c)))
+			xs := make([][]float64, perClient)
+			want := make([]int, perClient)
+			for i := range xs {
+				xs[i] = sample(rng, 6)
+				want[i] = model.PredictFixed(fixed.Default, xs[i])
+			}
+			labels, _, err := cli.InferMany(transport.New(nc), xs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range labels {
+				if labels[i] != want[i] {
+					t.Errorf("client %d sample %d: secure %d, plaintext %d", c, i, labels[i], want[i])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Inferences != clients*perClient && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.Sessions != clients || got.Inferences != clients*perClient || got.Errors != 0 {
+		t.Errorf("server stats %+v, want %d sessions x %d inferences", got, clients, perClient)
+	}
+}
+
+func TestAbruptClientDisconnectIsNotAnError(t *testing.T) {
+	model := testModel(t)
+	srv, addr, stop := startServer(t, model)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := &core.Client{Rng: rand.New(rand.NewSource(11))}
+	sess, err := cli.NewSession(transport.New(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Infer(sample(rand.New(rand.NewSource(12)), 6)); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close() // vanish at the inference boundary, no MsgEndSession
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().ActiveSessions != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.Errors != 0 || got.Inferences != 1 {
+		t.Errorf("boundary disconnect should not count as error: %+v", got)
+	}
+}
+
+func TestShutdownRefusesNewConnections(t *testing.T) {
+	model := testModel(t)
+	_, addr, stop := startServer(t, model)
+	stop()
+	if nc, err := net.Dial("tcp", addr); err == nil {
+		nc.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}

@@ -29,6 +29,12 @@ const (
 	MsgResult
 	MsgShare
 	MsgArch
+	// Session framing: a client announces each further inference on an
+	// open session with MsgNextInfer and ends the session with
+	// MsgEndSession, so a server can amortize its handshake, OT base
+	// phase, and compiled netlist across many inferences.
+	MsgNextInfer
+	MsgEndSession
 )
 
 // String names the message type.
@@ -39,6 +45,7 @@ func (m MsgType) String() string {
 		MsgOTBase: "ot-base", MsgOTExtU: "ot-ext-u", MsgOTExtY: "ot-ext-y",
 		MsgOutputLabels: "output-labels", MsgResult: "result",
 		MsgShare: "share", MsgArch: "arch",
+		MsgNextInfer: "next-infer", MsgEndSession: "end-session",
 	}
 	if s, ok := names[m]; ok {
 		return s
@@ -102,26 +109,51 @@ func (c *Conn) Flush() error {
 // returned as an error. Recv flushes pending writes first, so a party can
 // never deadlock waiting for a response to a request it hasn't sent.
 func (c *Conn) Recv(want MsgType) ([]byte, error) {
+	_, payload, err := c.RecvAny(want)
+	return payload, err
+}
+
+// RecvAny reads the next frame, requiring its type to be one of want —
+// the session-boundary receive, where a server accepts either a
+// next-inference announcement or an end-of-session marker. Like Recv it
+// flushes pending writes first.
+func (c *Conn) RecvAny(want ...MsgType) (MsgType, []byte, error) {
 	if err := c.Flush(); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	if _, err := io.ReadFull(c.rw, c.scratch[:]); err != nil {
-		return nil, fmt.Errorf("transport: read header: %w", err)
+		return 0, nil, fmt.Errorf("transport: read header: %w", err)
 	}
 	got := MsgType(c.scratch[0])
 	n := binary.LittleEndian.Uint32(c.scratch[1:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+		return 0, nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
-		return nil, fmt.Errorf("transport: read %v payload: %w", got, err)
+		return 0, nil, fmt.Errorf("transport: read %v payload: %w", got, err)
 	}
 	c.BytesReceived += int64(5 + n)
-	if got != want {
-		return nil, fmt.Errorf("transport: protocol desync: got %v frame, want %v", got, want)
+	for _, w := range want {
+		if got == w {
+			return got, payload, nil
+		}
 	}
-	return payload, nil
+	return 0, nil, fmt.Errorf("transport: protocol desync: got %v frame, want %v", got, wantNames(want))
+}
+
+func wantNames(want []MsgType) string {
+	if len(want) == 1 {
+		return want[0].String()
+	}
+	s := ""
+	for i, w := range want {
+		if i > 0 {
+			s += "|"
+		}
+		s += w.String()
+	}
+	return s
 }
 
 // pipeHalf is one direction of the in-memory duplex pipe: an unbounded

@@ -200,6 +200,51 @@ func TestClosedPipeEOF(t *testing.T) {
 	}
 }
 
+func TestRecvAny(t *testing.T) {
+	a, b, closer := Pipe()
+	defer closer.Close()
+	for _, typ := range []MsgType{MsgNextInfer, MsgEndSession} {
+		if err := a.Send(typ, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.RecvAny(MsgNextInfer, MsgEndSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MsgNextInfer {
+		t.Fatalf("got %v, want %v", got, MsgNextInfer)
+	}
+	got, _, err = b.RecvAny(MsgNextInfer, MsgEndSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MsgEndSession {
+		t.Fatalf("got %v, want %v", got, MsgEndSession)
+	}
+}
+
+func TestRecvAnyMismatch(t *testing.T) {
+	a, b, closer := Pipe()
+	defer closer.Close()
+	if err := a.Send(MsgTables, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := b.RecvAny(MsgNextInfer, MsgEndSession)
+	if err == nil || !strings.Contains(err.Error(), "desync") {
+		t.Errorf("mismatch should report desync naming both types, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "next-infer|end-session") {
+		t.Errorf("error should name the accepted set, got %v", err)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	if MsgTables.String() != "tables" || MsgOTExtU.String() != "ot-ext-u" {
 		t.Error("names wrong")
