@@ -8,6 +8,7 @@ package deepsecure
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -632,6 +633,70 @@ func BenchmarkSessionThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
 	})
+}
+
+// BenchmarkEngineThroughput compares the sequential engine (Workers=1)
+// against the level-scheduled parallel engine (Workers=GOMAXPROCS) on
+// the same session workload: both parties run the same mode, so the row
+// pair isolates the engine's contribution to inferences/sec. Results are
+// committed as BENCH_engine.json. On a single-core host the two modes
+// should be within noise of each other; the parallel win appears from
+// ~4 cores up (see ISSUE 2's acceptance criterion).
+func BenchmarkEngineThroughput(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(96),
+		nn.NewDense(32),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(61)))
+	const k = 2
+	rng := rand.New(rand.NewSource(62))
+	xs := make([][]float64, k)
+	for i := range xs {
+		xs[i] = make([]float64, 96)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	modes := []struct {
+		name string
+		cfg  core.EngineConfig
+	}{
+		{"sequential", core.EngineConfig{Workers: 1}},
+		{"parallel", core.EngineConfig{Workers: 0 /* GOMAXPROCS */}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			srv := &core.Server{Net: net, Fmt: fixed.Default, Engine: mode.cfg}
+			if err := srv.Precompile(); err != nil {
+				b.Fatal(err)
+			}
+			cli := &core.Client{Engine: mode.cfg}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cConn, sConn, closer := transport.Pipe()
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := srv.ServeSession(sConn); err != nil {
+						b.Error(err)
+					}
+				}()
+				if _, _, err := cli.InferMany(cConn, xs); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				closer.Close()
+			}
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+		})
+	}
 }
 
 func nowNs() int64 { return time.Now().UnixNano() }

@@ -55,6 +55,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "weight-initialization seed")
 	statsEvery := flag.Duration("stats", time.Minute, "stats log interval (0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	workers := flag.Int("workers", 0, "engine workers per session (0 = GOMAXPROCS, 1 = sequential)")
+	chunkKB := flag.Int("chunk-kb", 0, "garbled-table streaming chunk in KiB (0 = default 1024)")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "per-session idle read deadline (0 disables)")
 	flag.Parse()
 
 	net0, err := buildModel(*model)
@@ -64,7 +67,9 @@ func main() {
 	net0.InitWeights(rand.New(rand.NewSource(*seed)))
 
 	start := time.Now()
-	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat)
+	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
+		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
+		deepsecure.WithIdleTimeout(*idle))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -75,6 +75,24 @@ type (
 	InferenceServer = server.Server
 	// ServerStats is a snapshot of an InferenceServer's counters.
 	ServerStats = server.Stats
+	// EngineConfig tunes the level-scheduled execution engine: Workers
+	// sets the garble/evaluate pool size (0 derives it from GOMAXPROCS,
+	// 1 is the sequential mode) and ChunkBytes the garbled-table
+	// streaming chunk. Set it on a Client, or pass it to NewServer via
+	// WithEngine.
+	EngineConfig = core.EngineConfig
+	// ServerOption configures NewServer / ListenAndServe.
+	ServerOption = server.Option
+)
+
+// Server construction options.
+var (
+	// WithEngine selects the execution-engine configuration for every
+	// session the server answers.
+	WithEngine = server.WithEngine
+	// WithIdleTimeout bounds how long a session connection may sit idle
+	// between reads before it is reaped.
+	WithIdleTimeout = server.WithIdleTimeout
 )
 
 // DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.
@@ -151,18 +169,20 @@ func OpenSession(conn *Conn) (*Session, error) {
 }
 
 // NewServer builds a concurrent inference server around the private
-// model, compiling the inference netlist once up front; every client
-// session replays the same tape with fresh labels. Start it with
-// ListenAndServe or Serve, stop it with Shutdown or Close.
-func NewServer(net *Network, f Format) (*InferenceServer, error) {
-	return server.New(net, f)
+// model, compiling the inference netlist and its level schedule once up
+// front; every client session executes the same program with fresh
+// labels. Start it with ListenAndServe, Serve, or ServeContext, stop it
+// with Shutdown or Close. Options tune the execution engine and session
+// policies (WithEngine, WithIdleTimeout).
+func NewServer(net *Network, f Format, opts ...ServerOption) (*InferenceServer, error) {
+	return server.New(net, f, opts...)
 }
 
 // ListenAndServe compiles the model's netlist and serves secure
 // inference sessions on addr until the process exits (the
 // net/http-style convenience entry point).
-func ListenAndServe(addr string, net *Network, f Format) error {
-	srv, err := server.New(net, f)
+func ListenAndServe(addr string, net *Network, f Format, opts ...ServerOption) error {
+	srv, err := server.New(net, f, opts...)
 	if err != nil {
 		return err
 	}

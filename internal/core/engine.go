@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"deepsecure/internal/circuit"
+	"deepsecure/internal/gc"
+	"deepsecure/internal/ot"
+	"deepsecure/internal/transport"
+)
+
+// This file is the level-scheduled execution engine behind multi-inference
+// sessions. Where the sinks in sinks.go drive the GC core one gate at a
+// time on the transport goroutine, the engine executes the compiled
+// circuit.Schedule as a staged pipeline:
+//
+//	garbler:   [garble workers] → chunk buffer → [writer goroutine] → conn
+//	evaluator: conn → [prefetch goroutine] → frame ring → [eval workers]
+//
+// Each level's gates are garbled/evaluated by a gc.Pool; completed table
+// chunks stream to the peer while the next level is being garbled, and on
+// the evaluator a prefetcher keeps a bounded ring of table frames ahead
+// of the worker pool, so neither AES throughput nor transport latency
+// idles the other. Input, OT, and output steps are barriers executed on
+// the engine's goroutine, exactly where the tape recorded them, which
+// keeps the wire protocol's frame sequence identical to the sequential
+// engine's.
+//
+// Determinism: hash tweaks and table offsets come from the schedule
+// (GIDBase + in-level rank), and chunk flushing depends only on the
+// schedule and ChunkBytes — so the byte stream is identical for any
+// worker count, and Workers=1 is the sequential mode the conformance
+// tests pin against.
+
+// EngineConfig tunes the level-scheduled execution engine.
+type EngineConfig struct {
+	// Workers is the garble/evaluate worker-pool size. 0 (the default)
+	// derives it from runtime.GOMAXPROCS; 1 selects the fully sequential
+	// in-line mode.
+	Workers int
+	// ChunkBytes is the garbled-table streaming chunk size: the garbler
+	// hands a table buffer to its writer goroutine whenever it grows past
+	// this threshold (at a level boundary). 0 defaults to 1 MiB. Both
+	// parties may use different values; the evaluator reassembles frames
+	// regardless of their boundaries.
+	ChunkBytes int
+}
+
+func (c EngineConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c EngineConfig) chunkBytes() int {
+	if c.ChunkBytes > 0 {
+		return c.ChunkBytes
+	}
+	return tableChunk
+}
+
+// tableWriter streams finished table chunks on a dedicated goroutine so
+// transport writes overlap the next level's garbling. Buffers cycle
+// through the free channel (transport.Conn copies payloads into its own
+// write buffer, so a chunk is reusable the moment Send returns).
+type tableWriter struct {
+	ch   chan []byte
+	done chan error
+	free chan []byte
+}
+
+func startTableWriter(conn *transport.Conn, free chan []byte) *tableWriter {
+	w := &tableWriter{
+		ch:   make(chan []byte, 2),
+		done: make(chan error, 1),
+		free: free,
+	}
+	go func() {
+		var err error
+		for buf := range w.ch {
+			if err == nil {
+				err = conn.Send(transport.MsgTables, buf)
+			}
+			select {
+			case w.free <- buf[:0]:
+			default:
+			}
+		}
+		w.done <- err
+	}()
+	return w
+}
+
+// finish closes the stream and waits for the writer to drain; after it
+// returns the caller owns the connection again.
+func (w *tableWriter) finish() error {
+	close(w.ch)
+	return <-w.done
+}
+
+// garbleEngine runs the garbler's side of one inference over a compiled
+// schedule. It is the pipelined replacement for garblerSink; the session
+// reuses its buffers across inferences.
+type garbleEngine struct {
+	sched *circuit.Schedule
+	g     *gc.Garbler
+	pool  *gc.Pool
+	conn  *transport.Conn
+	ots   *ot.ExtSender
+	cfg   EngineConfig
+
+	inputBits []bool
+	cursor    int
+
+	labelBuf []byte
+	outZero  []gc.Label
+
+	cur  []byte      // table chunk being filled
+	free chan []byte // recycled chunk buffers
+}
+
+func (en *garbleEngine) run() error {
+	en.g.Grow(en.sched.NumWires)
+	for si := range en.sched.Steps {
+		st := &en.sched.Steps[si]
+		var err error
+		switch st.Kind {
+		case circuit.StepInputs:
+			err = en.doInputs(st)
+		case circuit.StepOutputs:
+			err = en.doOutputs(st)
+		case circuit.StepLevels:
+			err = en.doLevels(st)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (en *garbleEngine) doInputs(st *circuit.Step) error {
+	if st.Party == circuit.Garbler {
+		payload := en.labelBuf[:0]
+		for _, w := range st.Wires {
+			if _, err := en.g.AssignInput(w); err != nil {
+				return err
+			}
+			if en.cursor >= len(en.inputBits) {
+				return fmt.Errorf("core: garbler input underrun at wire %d", w)
+			}
+			l, err := en.g.ActiveLabel(w, en.inputBits[en.cursor])
+			if err != nil {
+				return err
+			}
+			en.cursor++
+			payload = append(payload, l[:]...)
+		}
+		en.labelBuf = payload[:0] // keep the (possibly grown) buffer
+		return en.conn.Send(transport.MsgInputLabels, payload)
+	}
+	// Evaluator inputs travel by OT extension: one batch per step.
+	pairs := make([][2]ot.Msg, len(st.Wires))
+	for i, w := range st.Wires {
+		l0, err := en.g.AssignInput(w)
+		if err != nil {
+			return err
+		}
+		l1 := l0.XOR(en.g.R)
+		pairs[i] = [2]ot.Msg{ot.Msg(l0), ot.Msg(l1)}
+	}
+	return en.ots.Send(pairs)
+}
+
+func (en *garbleEngine) doOutputs(st *circuit.Step) error {
+	for _, w := range st.Wires {
+		l, err := en.g.ZeroLabel(w)
+		if err != nil {
+			return err
+		}
+		en.outZero = append(en.outZero, l)
+	}
+	return nil
+}
+
+// grab returns an empty chunk buffer, recycling a spent one when the
+// writer has returned it.
+func (en *garbleEngine) grab() []byte {
+	select {
+	case buf := <-en.free:
+		return buf
+	default:
+		return make([]byte, 0, en.cfg.chunkBytes()+en.cfg.chunkBytes()/4)
+	}
+}
+
+// doLevels executes one run of gate levels, streaming table chunks
+// through the writer goroutine while subsequent levels garble.
+func (en *garbleEngine) doLevels(st *circuit.Step) (err error) {
+	for _, w := range st.PreDrops {
+		en.g.Drop(w)
+	}
+	chunk := en.cfg.chunkBytes()
+	async := en.pool.Workers() > 1
+	var wr *tableWriter
+	if async {
+		wr = startTableWriter(en.conn, en.free)
+	}
+	emit := func(buf []byte) error {
+		if async {
+			wr.ch <- buf
+			return nil
+		}
+		err := en.conn.Send(transport.MsgTables, buf)
+		select {
+		case en.free <- buf[:0]:
+		default:
+		}
+		return err
+	}
+	cur := en.cur[:0]
+	for li := st.First; li < st.First+st.N && err == nil; li++ {
+		lv := &en.sched.Levels[li]
+		ands, frees := en.sched.LevelGates(lv)
+		need := lv.ANDs * gc.TableSize
+		off := len(cur)
+		for cap(cur) < off+need {
+			cur = append(cur[:cap(cur)], 0)
+		}
+		cur = cur[:off+need]
+		if err = en.g.GarbleBatch(ands, frees, lv.GIDBase, cur[off:off+need], en.pool); err != nil {
+			break
+		}
+		for _, w := range lv.Drops {
+			en.g.Drop(w)
+		}
+		if len(cur) >= chunk {
+			if err = emit(cur); err != nil {
+				break
+			}
+			cur = en.grab()
+		}
+	}
+	if err == nil && len(cur) > 0 {
+		err = emit(cur)
+		cur = nil
+	}
+	if async {
+		// Always drain the writer, even on error, so it never outlives
+		// the inference or races the main goroutine for the connection.
+		werr := wr.finish()
+		if err == nil {
+			err = werr
+		}
+	}
+	en.cur = en.grab()
+	return err
+}
+
+// frameRingDepth bounds the evaluator's prefetched table frames: the
+// prefetch goroutine stays at most this many frames ahead of the
+// evaluate pool, preserving the §3.5 bounded-memory property.
+const frameRingDepth = 4
+
+// errPrefetchStopped is the in-band signal that the prefetch ring closed
+// before the run's table budget was met; the prefetcher's own error (on
+// perr) is the authoritative cause.
+var errPrefetchStopped = errors.New("core: table prefetch stopped early")
+
+// evalEngine runs the evaluator's side of one inference over a compiled
+// schedule: the pipelined replacement for evaluatorSink's gate loop.
+type evalEngine struct {
+	sched *circuit.Schedule
+	e     *gc.Evaluator
+	pool  *gc.Pool
+	conn  *transport.Conn
+	ots   *ot.ExtReceiver
+	cfg   EngineConfig
+
+	inputBits []bool
+	cursor    int
+
+	pending   []byte
+	outLabels []gc.Label
+}
+
+func (en *evalEngine) run() error {
+	en.e.Grow(en.sched.NumWires)
+	for si := range en.sched.Steps {
+		st := &en.sched.Steps[si]
+		var err error
+		switch st.Kind {
+		case circuit.StepInputs:
+			err = en.doInputs(st)
+		case circuit.StepOutputs:
+			err = en.doOutputs(st)
+		case circuit.StepLevels:
+			err = en.doLevels(st)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (en *evalEngine) doInputs(st *circuit.Step) error {
+	if st.Party == circuit.Garbler {
+		payload, err := en.conn.Recv(transport.MsgInputLabels)
+		if err != nil {
+			return err
+		}
+		if len(payload) != len(st.Wires)*gc.LabelSize {
+			return fmt.Errorf("core: input-label frame has %d bytes, want %d", len(payload), len(st.Wires)*gc.LabelSize)
+		}
+		for i, w := range st.Wires {
+			var l gc.Label
+			copy(l[:], payload[i*gc.LabelSize:])
+			en.e.SetLabel(w, l)
+		}
+		return nil
+	}
+	choices := make([]bool, len(st.Wires))
+	for i := range st.Wires {
+		if en.cursor >= len(en.inputBits) {
+			return fmt.Errorf("core: evaluator input underrun at wire %d", st.Wires[i])
+		}
+		choices[i] = en.inputBits[en.cursor]
+		en.cursor++
+	}
+	msgs, err := en.ots.Receive(choices)
+	if err != nil {
+		return err
+	}
+	for i, w := range st.Wires {
+		en.e.SetLabel(w, gc.Label(msgs[i]))
+	}
+	return nil
+}
+
+func (en *evalEngine) doOutputs(st *circuit.Step) error {
+	for _, w := range st.Wires {
+		l, err := en.e.Label(w)
+		if err != nil {
+			return err
+		}
+		en.outLabels = append(en.outLabels, l)
+	}
+	return nil
+}
+
+// doLevels evaluates one run of gate levels. With more than one worker, a
+// prefetch goroutine receives table frames into a bounded ring ahead of
+// the evaluate pool; with one worker, frames are received inline.
+func (en *evalEngine) doLevels(st *circuit.Step) error {
+	for _, w := range st.PreDrops {
+		en.e.Drop(w)
+	}
+	var frames chan []byte
+	var perr chan error
+	async := en.pool.Workers() > 1 && st.TableBytes > 0
+	if async {
+		frames = make(chan []byte, frameRingDepth)
+		perr = make(chan error, 1)
+		go func(total int) {
+			defer close(frames)
+			rem := total
+			for rem > 0 {
+				p, err := en.conn.Recv(transport.MsgTables)
+				if err != nil {
+					perr <- err
+					return
+				}
+				if len(p) > rem {
+					perr <- fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", len(p)-rem)
+					return
+				}
+				rem -= len(p)
+				frames <- p
+			}
+			perr <- nil
+		}(st.TableBytes)
+	}
+	// next yields the following table frame. In async mode a closed ring
+	// means the prefetcher exited early; it reports errPrefetchStopped
+	// and the cleanup below collects the prefetcher's actual verdict —
+	// perr carries exactly one value, consumed exactly once, down there.
+	next := func() ([]byte, error) {
+		if async {
+			p, ok := <-frames
+			if !ok {
+				return nil, errPrefetchStopped
+			}
+			return p, nil
+		}
+		return en.conn.Recv(transport.MsgTables)
+	}
+
+	pending := en.pending[:0]
+	off := 0
+	got := 0
+	var err error
+	for li := st.First; li < st.First+st.N && err == nil; li++ {
+		lv := &en.sched.Levels[li]
+		ands, frees := en.sched.LevelGates(lv)
+		need := lv.ANDs * gc.TableSize
+		for len(pending)-off < need {
+			var p []byte
+			if p, err = next(); err != nil {
+				break
+			}
+			got += len(p)
+			if got > st.TableBytes {
+				err = fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", got-st.TableBytes)
+				break
+			}
+			if off > 0 && len(pending)+len(p) > cap(pending) {
+				// Compact consumed bytes instead of growing.
+				pending = pending[:copy(pending, pending[off:])]
+				off = 0
+			}
+			pending = append(pending, p...)
+		}
+		if err != nil {
+			break
+		}
+		if err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, pending[off:off+need], en.pool); err != nil {
+			break
+		}
+		off += need
+		for _, w := range lv.Drops {
+			en.e.Drop(w)
+		}
+	}
+	if err == nil && off != len(pending) {
+		err = fmt.Errorf("core: %d unconsumed garbled-table bytes at run boundary", len(pending)-off)
+	}
+	if async {
+		// Drain the ring so the prefetcher can exit, then collect its
+		// verdict (the channel's single value); it must not outlive the
+		// run holding the connection.
+		for range frames {
+		}
+		perr2 := <-perr
+		switch {
+		case err == errPrefetchStopped:
+			// The ring closed under the main loop: the prefetcher's
+			// error is the real one (a nil verdict here would mean the
+			// run's table accounting is inconsistent).
+			err = perr2
+			if err == nil {
+				err = fmt.Errorf("core: table stream ended %d bytes short of the run's %d", got, st.TableBytes)
+			}
+		case err == nil && perr2 != nil:
+			err = perr2
+		}
+		if err == nil && got != st.TableBytes {
+			err = fmt.Errorf("core: run received %d table bytes, want %d", got, st.TableBytes)
+		}
+	}
+	en.pending = pending[:0]
+	return err
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"deepsecure/internal/circuit"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/netgen"
@@ -64,6 +65,9 @@ type Server struct {
 	// safe for concurrent use; deterministic readers like *math/rand.Rand
 	// are only for single-session tests.
 	Rng io.Reader
+	// Engine tunes the level-scheduled evaluation engine (worker count,
+	// table chunking). The zero value derives workers from GOMAXPROCS.
+	Engine EngineConfig
 
 	compileOnce sync.Once
 	prog        *netgen.Program
@@ -145,7 +149,16 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 		return finish(), err
 	}
 
-	sink := &evaluatorSink{conn: conn, ots: ots, inputBits: weightBits}
+	// One engine (worker pool, table ring buffers) serves the whole
+	// session; each inference resets its per-execution state.
+	en := &evalEngine{
+		sched:     prog.Schedule,
+		pool:      gc.NewPool(s.Engine.workers()),
+		conn:      conn,
+		ots:       ots,
+		cfg:       s.Engine,
+		inputBits: weightBits,
+	}
 	for {
 		typ, _, err := conn.RecvAny(transport.MsgNextInfer, transport.MsgEndSession)
 		if err != nil {
@@ -159,23 +172,37 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 		if typ == transport.MsgEndSession {
 			return finish(), nil
 		}
-		if err := s.serveOne(conn, prog, sink); err != nil {
+		if err := s.serveOne(conn, en); err != nil {
 			return finish(), err
 		}
 		st.Inferences++
 	}
 }
 
-// serveOne evaluates one garbled execution of the compiled tape.
-func (s *Server) serveOne(conn *transport.Conn, prog *netgen.Program, sink *evaluatorSink) error {
-	if err := sink.beginInference(); err != nil {
+// serveOne evaluates one garbled execution of the compiled schedule.
+func (s *Server) serveOne(conn *transport.Conn, en *evalEngine) error {
+	// Fresh constant labels open each garbled execution.
+	constLabels, err := conn.Recv(transport.MsgConstLabels)
+	if err != nil {
 		return err
 	}
-	if err := prog.Tape.Replay(sink); err != nil {
+	if len(constLabels) != 2*gc.LabelSize {
+		return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
+	}
+	e := gc.NewEvaluator()
+	var lf, lt gc.Label
+	copy(lf[:], constLabels[:gc.LabelSize])
+	copy(lt[:], constLabels[gc.LabelSize:])
+	e.SetLabel(circuit.WFalse, lf)
+	e.SetLabel(circuit.WTrue, lt)
+	en.e = e
+	en.cursor = 0
+	en.outLabels = en.outLabels[:0]
+	if err := en.run(); err != nil {
 		return err
 	}
-	payload := make([]byte, 0, len(sink.outLabels)*gc.LabelSize)
-	for _, l := range sink.outLabels {
+	payload := make([]byte, 0, len(en.outLabels)*gc.LabelSize)
+	for _, l := range en.outLabels {
 		payload = append(payload, l[:]...)
 	}
 	if err := conn.Send(transport.MsgOutputLabels, payload); err != nil {
@@ -193,6 +220,9 @@ func (s *Server) serveOne(conn *transport.Conn, prog *netgen.Program, sink *eval
 type Client struct {
 	// Rng sources protocol randomness (crypto/rand when nil).
 	Rng io.Reader
+	// Engine tunes the level-scheduled garbling engine (worker count,
+	// table chunking). The zero value derives workers from GOMAXPROCS.
+	Engine EngineConfig
 
 	mu    sync.Mutex
 	progs map[string]*netgen.Program
@@ -248,9 +278,14 @@ type Session struct {
 	closed     bool
 	failed     bool // a mid-protocol error desynchronized the stream
 
-	// Reused per-inference buffers.
-	tablesBuf []byte
-	labelBuf  []byte
+	// The session's garbling engine state, reused across inferences: the
+	// worker pool (with its per-worker hashers), the recycled table-chunk
+	// ring, and the label payload buffer.
+	cfg      EngineConfig
+	pool     *gc.Pool
+	freeBufs chan []byte
+	chunkBuf []byte
+	labelBuf []byte
 
 	// lastOutZero records the previous inference's output zero-labels;
 	// tests use it to confirm labels are fresh per inference.
@@ -296,6 +331,9 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		sent0:    sent0,
 		recv0:    recv0,
 		inputLen: net.In.Len(),
+		cfg:      c.Engine,
+		pool:     gc.NewPool(c.Engine.workers()),
+		freeBufs: make(chan []byte, 3),
 	}, nil
 }
 
@@ -347,50 +385,54 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 	if err := s.conn.Send(transport.MsgConstLabels, constPayload); err != nil {
 		return fail(err)
 	}
-	sink := &garblerSink{
+	en := &garbleEngine{
+		sched:     s.prog.Schedule,
 		g:         g,
+		pool:      s.pool,
 		conn:      s.conn,
 		ots:       s.ots,
+		cfg:       s.cfg,
 		inputBits: bits,
-		tables:    s.tablesBuf[:0],
 		labelBuf:  s.labelBuf[:0],
 		outZero:   s.lastOutZero[:0],
+		cur:       s.chunkBuf,
+		free:      s.freeBufs,
 	}
-	if err := s.prog.Tape.Replay(sink); err != nil {
+	if err := en.run(); err != nil {
 		return fail(err)
 	}
-	if err := sink.flushTables(); err != nil {
+	if err := s.conn.Flush(); err != nil {
 		return fail(err)
 	}
 	// Hand the grown buffers back for the next inference on this session.
-	s.tablesBuf = sink.tables[:0]
-	s.labelBuf = sink.labelBuf[:0]
+	s.chunkBuf = en.cur
+	s.labelBuf = en.labelBuf
 
 	payload, err := s.conn.Recv(transport.MsgOutputLabels)
 	if err != nil {
 		return fail(err)
 	}
-	if len(payload) != len(sink.outZero)*gc.LabelSize {
+	if len(payload) != len(en.outZero)*gc.LabelSize {
 		return fail(fmt.Errorf("core: output-label frame has %d bytes, want %d",
-			len(payload), len(sink.outZero)*gc.LabelSize))
+			len(payload), len(en.outZero)*gc.LabelSize))
 	}
 	// Merge results (§2.2.2 step iv) with full-label authentication: a
 	// tampered or corrupted evaluation cannot yield a silently wrong
 	// label, it fails here.
 	label := 0
-	for i := range sink.outZero {
+	for i := range en.outZero {
 		var l gc.Label
 		copy(l[:], payload[i*gc.LabelSize:])
 		switch l {
-		case sink.outZero[i]:
+		case en.outZero[i]:
 			// bit 0
-		case sink.outZero[i].XOR(g.R):
+		case en.outZero[i].XOR(g.R):
 			label |= 1 << uint(i)
 		default:
 			return fail(fmt.Errorf("core: output label %d failed authentication", i))
 		}
 	}
-	s.lastOutZero = sink.outZero
+	s.lastOutZero = en.outZero
 	s.inferences++
 	s.andGates += g.ANDGates
 	s.freeGates += g.FreeGates

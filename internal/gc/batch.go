@@ -1,0 +1,289 @@
+package gc
+
+import (
+	"fmt"
+	"sync"
+
+	"deepsecure/internal/circuit"
+)
+
+// This file is the level-batch face of the GC engine: where Garble/Eval
+// consume one gate at a time with implicit state (the internal AND
+// counter that keys hash tweaks, the append-grown table slice), the batch
+// APIs process a whole stratum of mutually independent gates — as
+// produced by circuit.NewSchedule — against explicit coordinates: the
+// level's global AND index base fixes every tweak, and each AND gate
+// writes its two ciphertexts at rank*TableSize inside a caller-provided
+// table block. Nothing depends on execution order inside a level, so a
+// Pool can stripe the gates across workers while the produced bytes stay
+// identical for any worker count.
+
+// Pool is a reusable worker set for batch garbling/evaluation. Each
+// worker owns a private Hasher so the fixed-key AES state is never shared
+// across goroutines. A Pool is safe for reuse across batches and
+// sessions, but a single batch call uses it exclusively.
+type Pool struct {
+	hashers []*Hasher
+}
+
+// NewPool builds a pool of n workers (n < 1 is clamped to 1, the
+// sequential mode).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	hs := make([]*Hasher, n)
+	for i := range hs {
+		hs[i] = NewHasher()
+	}
+	return &Pool{hashers: hs}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return len(p.hashers) }
+
+// parallelMinANDs is the smallest AND count worth fanning out: below it,
+// goroutine handoff costs more than the AES work saved.
+const parallelMinANDs = 32
+
+// parallelMinGates is the fan-out threshold for levels that are wide in
+// free gates only.
+const parallelMinGates = 1024
+
+// run executes fn over per-worker spans of the AND range [0, nAND) and
+// the free range [0, nFree). The two populations are striped separately
+// — a single partition of the concatenation would hand every AES-heavy
+// AND gate to the first workers and leave the rest doing only label
+// XORs. Small batches run inline (goroutine handoff would cost more than
+// the AES work saved). The first error wins.
+func (p *Pool) run(nAND, nFree int, fn func(h *Hasher, andLo, andHi, freeLo, freeHi int) error) error {
+	w := len(p.hashers)
+	if n := nAND + nFree; w > n {
+		w = n
+	}
+	if w <= 1 || (nAND < parallelMinANDs && nAND+nFree < parallelMinGates) {
+		return fn(p.hashers[0], 0, nAND, 0, nFree)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		andLo, andHi := i*nAND/w, (i+1)*nAND/w
+		freeLo, freeHi := i*nFree/w, (i+1)*nFree/w
+		if andLo == andHi && freeLo == freeHi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, andLo, andHi, freeLo, freeHi int) {
+			defer wg.Done()
+			errs[i] = fn(p.hashers[i], andLo, andHi, freeLo, freeHi)
+		}(i, andLo, andHi, freeLo, freeHi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Grow pre-sizes the garbler's label storage for wires [0, n). Batch
+// calls never grow storage (growth would race between workers), so the
+// engine must Grow to the schedule's namespace once per inference.
+func (g *Garbler) Grow(n uint32) {
+	if n > 0 {
+		g.ensure(n - 1)
+	}
+}
+
+// Grow pre-sizes the evaluator's label storage for wires [0, n).
+func (e *Evaluator) Grow(n uint32) {
+	if n > 0 {
+		e.ensure(n - 1)
+	}
+}
+
+// GarbleBatch garbles one level of mutually independent gates: ands are
+// the level's AND gates and frees its XOR/INV gates. The i-th AND gate
+// has global AND index gidBase+i (keying its hash tweaks) and writes its
+// two half-gate ciphertexts at table[i*TableSize:]; table must therefore
+// hold exactly len(ands)*TableSize bytes. Gates are striped over pool's
+// workers; the caller must guarantee level independence (distinct output
+// wires, no gate reading a wire another gate in the batch writes) — which
+// circuit.NewSchedule establishes — and must have Grown the garbler past
+// every wire id in the batch.
+func (g *Garbler) GarbleBatch(ands, frees []circuit.Gate, gidBase uint64, table []byte, pool *Pool) error {
+	if len(table) != len(ands)*TableSize {
+		return fmt.Errorf("gc: garble batch table is %d bytes, want %d", len(table), len(ands)*TableSize)
+	}
+	err := pool.run(len(ands), len(frees), func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		for i := andLo; i < andHi; i++ {
+			if err := g.garbleAND(h, ands[i], gidBase+uint64(i), table[i*TableSize:(i+1)*TableSize]); err != nil {
+				return err
+			}
+		}
+		for i := freeLo; i < freeHi; i++ {
+			if err := g.garbleFree(frees[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	g.ANDGates += int64(len(ands))
+	g.FreeGates += int64(len(frees))
+	return nil
+}
+
+func (g *Garbler) setLabel(w uint32, l Label) error {
+	if uint32(len(g.labels)) <= w {
+		return fmt.Errorf("gc: garbler label storage not grown past wire %d", w)
+	}
+	g.labels[w] = l
+	g.have[w] = true
+	return nil
+}
+
+// garbleAND is the half-gates AND garbler against explicit coordinates:
+// hasher h, global AND index gid, destination table block dst.
+func (g *Garbler) garbleAND(h *Hasher, gate circuit.Gate, gid uint64, dst []byte) error {
+	a0, err := g.ZeroLabel(gate.A)
+	if err != nil {
+		return err
+	}
+	b0, err := g.ZeroLabel(gate.B)
+	if err != nil {
+		return err
+	}
+	a1 := a0.XOR(g.R)
+	b1 := b0.XOR(g.R)
+	pa := a0.LSB()
+	pb := b0.LSB()
+	j0 := 2 * gid
+	j1 := 2*gid + 1
+
+	// Generator half-gate.
+	ha0 := h.H(a0, j0)
+	tg := ha0.XOR(h.H(a1, j0))
+	if pb {
+		tg = tg.XOR(g.R)
+	}
+	wg := ha0
+	if pa {
+		wg = wg.XOR(tg)
+	}
+
+	// Evaluator half-gate.
+	hb0 := h.H(b0, j1)
+	te := hb0.XOR(h.H(b1, j1)).XOR(a0)
+	we := hb0
+	if pb {
+		we = we.XOR(te).XOR(a0)
+	}
+
+	copy(dst[:LabelSize], tg[:])
+	copy(dst[LabelSize:TableSize], te[:])
+	return g.setLabel(gate.Out, wg.XOR(we))
+}
+
+// garbleFree handles the tableless gates (XOR, INV) in batch mode.
+func (g *Garbler) garbleFree(gate circuit.Gate) error {
+	a, err := g.ZeroLabel(gate.A)
+	if err != nil {
+		return err
+	}
+	switch gate.Op {
+	case circuit.XOR:
+		b, err := g.ZeroLabel(gate.B)
+		if err != nil {
+			return err
+		}
+		return g.setLabel(gate.Out, a.XOR(b))
+	case circuit.INV:
+		return g.setLabel(gate.Out, a.XOR(g.R))
+	default:
+		return fmt.Errorf("gc: cannot batch-garble op %v", gate.Op)
+	}
+}
+
+// EvaluateBatch evaluates one level of mutually independent gates, the
+// mirror of GarbleBatch: the i-th AND gate consumes the TableSize bytes
+// at table[i*TableSize:] under tweaks derived from gidBase+i. The same
+// independence and Grow preconditions apply.
+func (e *Evaluator) EvaluateBatch(ands, frees []circuit.Gate, gidBase uint64, table []byte, pool *Pool) error {
+	if len(table) != len(ands)*TableSize {
+		return fmt.Errorf("gc: evaluate batch table is %d bytes, want %d", len(table), len(ands)*TableSize)
+	}
+	return pool.run(len(ands), len(frees), func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		for i := andLo; i < andHi; i++ {
+			if err := e.evalAND(h, ands[i], gidBase+uint64(i), table[i*TableSize:(i+1)*TableSize]); err != nil {
+				return err
+			}
+		}
+		for i := freeLo; i < freeHi; i++ {
+			if err := e.evalFree(frees[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (e *Evaluator) setBatchLabel(w uint32, l Label) error {
+	if uint32(len(e.labels)) <= w {
+		return fmt.Errorf("gc: evaluator label storage not grown past wire %d", w)
+	}
+	e.labels[w] = l
+	e.have[w] = true
+	return nil
+}
+
+// evalAND is the half-gates AND evaluator against explicit coordinates.
+func (e *Evaluator) evalAND(h *Hasher, gate circuit.Gate, gid uint64, tab []byte) error {
+	var tg, te Label
+	copy(tg[:], tab[:LabelSize])
+	copy(te[:], tab[LabelSize:TableSize])
+	a, err := e.Label(gate.A)
+	if err != nil {
+		return err
+	}
+	b, err := e.Label(gate.B)
+	if err != nil {
+		return err
+	}
+	j0 := 2 * gid
+	j1 := 2*gid + 1
+	wg := h.H(a, j0)
+	if a.LSB() {
+		wg = wg.XOR(tg)
+	}
+	we := h.H(b, j1)
+	if b.LSB() {
+		we = we.XOR(te).XOR(a)
+	}
+	return e.setBatchLabel(gate.Out, wg.XOR(we))
+}
+
+// evalFree handles the tableless gates (XOR, INV) in batch mode.
+func (e *Evaluator) evalFree(gate circuit.Gate) error {
+	a, err := e.Label(gate.A)
+	if err != nil {
+		return err
+	}
+	switch gate.Op {
+	case circuit.XOR:
+		b, err := e.Label(gate.B)
+		if err != nil {
+			return err
+		}
+		return e.setBatchLabel(gate.Out, a.XOR(b))
+	case circuit.INV:
+		// Free inversion: the label carries through; only the garbler's
+		// semantics map flips.
+		return e.setBatchLabel(gate.Out, a)
+	default:
+		return fmt.Errorf("gc: cannot batch-evaluate op %v", gate.Op)
+	}
+}

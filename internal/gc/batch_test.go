@@ -1,0 +1,311 @@
+package gc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"deepsecure/internal/circuit"
+)
+
+// refDouble is the byte-wise carry-loop doubling the uint64 fast path
+// replaced; the two must agree on every input.
+func refDouble(l Label) Label {
+	var r Label
+	carry := byte(0)
+	for i := LabelSize - 1; i >= 0; i-- {
+		r[i] = l[i]<<1 | carry
+		carry = l[i] >> 7
+	}
+	if carry != 0 {
+		r[LabelSize-1] ^= 0x87
+	}
+	return r
+}
+
+func TestDoubleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		var l Label
+		rng.Read(l[:])
+		if i == 0 {
+			l = Label{} // all zero
+		}
+		if i == 1 {
+			for j := range l {
+				l[j] = 0xff
+			}
+		}
+		if got, want := double(l), refDouble(l); got != want {
+			t.Fatalf("double(%x) = %x, want %x", l, got, want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var z Label
+	if !z.IsZero() {
+		t.Fatal("zero label reported non-zero")
+	}
+	for i := 0; i < LabelSize; i++ {
+		l := Label{}
+		l[i] = 1
+		if l.IsZero() {
+			t.Fatalf("label with byte %d set reported zero", i)
+		}
+	}
+}
+
+// independentLevel builds a batch of mutually independent gates over
+// pre-assigned input wires: nAND AND gates followed by free gates, with
+// disjoint output wires.
+func independentLevel(t *testing.T, g *Garbler, rng *rand.Rand, nAND, nFree int) (ands, frees []circuit.Gate, maxWire uint32) {
+	t.Helper()
+	nIn := uint32(16)
+	for w := uint32(2); w < 2+nIn; w++ {
+		if _, err := g.AssignInput(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 2 + nIn
+	in := func() uint32 { return 2 + uint32(rng.Intn(int(nIn))) }
+	for i := 0; i < nAND; i++ {
+		ands = append(ands, circuit.Gate{Op: circuit.AND, A: in(), B: in(), Out: next})
+		next++
+	}
+	for i := 0; i < nFree; i++ {
+		op := circuit.XOR
+		gate := circuit.Gate{Op: op, A: in(), B: in(), Out: next}
+		if rng.Intn(3) == 0 {
+			gate = circuit.Gate{Op: circuit.INV, A: in(), Out: next}
+		}
+		frees = append(frees, gate)
+		next++
+	}
+	return ands, frees, next
+}
+
+// TestBatchMatchesSequential pins the batch path to the per-gate path:
+// for one level of independent gates, GarbleBatch with any worker count
+// must produce byte-identical tables and the same output labels as the
+// internal-counter Garble loop, and EvaluateBatch must decode them.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(31))
+		gSeq, err := NewGarbler(rand.New(rand.NewSource(32)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gBatch, err := NewGarbler(rand.New(rand.NewSource(32)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ands, frees, maxWire := independentLevel(t, gSeq, rng, 200, 100)
+		rng2 := rand.New(rand.NewSource(31))
+		ands2, frees2, _ := independentLevel(t, gBatch, rng2, 200, 100)
+		_ = ands2
+		_ = frees2
+
+		// Sequential: ANDs first, then frees, matching batch order.
+		var seqTables []byte
+		for _, gate := range ands {
+			if seqTables, err = gSeq.Garble(gate, seqTables); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, gate := range frees {
+			if seqTables, err = gSeq.Garble(gate, seqTables); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		pool := NewPool(workers)
+		gBatch.Grow(maxWire)
+		batchTables := make([]byte, len(ands)*TableSize)
+		if err := gBatch.GarbleBatch(ands, frees, 0, batchTables, pool); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqTables, batchTables) {
+			t.Fatalf("workers=%d: batch tables differ from sequential garbling", workers)
+		}
+		for w := uint32(0); w < maxWire; w++ {
+			ls, err1 := gSeq.ZeroLabel(w)
+			lb, err2 := gBatch.ZeroLabel(w)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("workers=%d: wire %d presence differs", workers, w)
+			}
+			if err1 == nil && ls != lb {
+				t.Fatalf("workers=%d: wire %d label differs", workers, w)
+			}
+		}
+
+		// Evaluate the batch tables with the batch evaluator and check
+		// against the garbler's semantics on random plaintext inputs.
+		ev := NewEvaluator()
+		ev.Grow(maxWire)
+		bits := make(map[uint32]bool)
+		ev.SetLabel(circuit.WFalse, mustActive(t, gBatch, circuit.WFalse, false))
+		ev.SetLabel(circuit.WTrue, mustActive(t, gBatch, circuit.WTrue, true))
+		bits[circuit.WFalse] = false
+		bits[circuit.WTrue] = true
+		for w := uint32(2); w < 18; w++ {
+			bit := rng.Intn(2) == 1
+			bits[w] = bit
+			ev.SetLabel(w, mustActive(t, gBatch, w, bit))
+		}
+		if err := ev.EvaluateBatch(ands, frees, 0, batchTables, pool); err != nil {
+			t.Fatal(err)
+		}
+		check := func(gate circuit.Gate) {
+			var want bool
+			switch gate.Op {
+			case circuit.AND:
+				want = bits[gate.A] && bits[gate.B]
+			case circuit.XOR:
+				want = bits[gate.A] != bits[gate.B]
+			case circuit.INV:
+				want = !bits[gate.A]
+			}
+			got, err := ev.Label(gate.Out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wl := mustActive(t, gBatch, gate.Out, want); got != wl {
+				t.Fatalf("workers=%d: gate %+v evaluated to wrong label", workers, gate)
+			}
+			bits[gate.Out] = want
+		}
+		for _, gate := range ands {
+			check(gate)
+		}
+		for _, gate := range frees {
+			check(gate)
+		}
+	}
+}
+
+func mustActive(t *testing.T, g *Garbler, w uint32, bit bool) Label {
+	t.Helper()
+	l, err := g.ActiveLabel(w, bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestBatchErrors covers the batch preconditions.
+func TestBatchErrors(t *testing.T) {
+	g, err := NewGarbler(rand.New(rand.NewSource(41)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(2)
+	and := []circuit.Gate{{Op: circuit.AND, A: 2, B: 3, Out: 4}}
+	if err := g.GarbleBatch(and, nil, 0, make([]byte, 1), pool); err == nil {
+		t.Fatal("short table accepted")
+	}
+	// Unassigned input wires must fail, not garble garbage.
+	g.Grow(8)
+	if err := g.GarbleBatch(and, nil, 0, make([]byte, TableSize), pool); err == nil {
+		t.Fatal("garbling over missing labels accepted")
+	}
+	e := NewEvaluator()
+	e.Grow(8)
+	if err := e.EvaluateBatch(and, nil, 0, make([]byte, 1), pool); err == nil {
+		t.Fatal("short table accepted by evaluator")
+	}
+}
+
+// BenchmarkGarbleGate measures a single AND-gate garble on the hot path
+// (four fixed-key AES hashes plus label XORs) — the unit the double() and
+// IsZero() uint64 fast paths speed up.
+func BenchmarkGarbleGate(b *testing.B) {
+	g, err := NewGarbler(rand.New(rand.NewSource(51)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for w := uint32(2); w < 8; w++ {
+		if _, err := g.AssignInput(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g.Grow(16)
+	h := NewHasher()
+	gate := circuit.Gate{Op: circuit.AND, A: 2, B: 3, Out: 9}
+	dst := make([]byte, TableSize)
+	b.SetBytes(TableSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.garbleAND(h, gate, uint64(i), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDouble isolates the GF(2^128) doubling inside the garbling
+// hash.
+func BenchmarkDouble(b *testing.B) {
+	var l Label
+	rand.New(rand.NewSource(52)).Read(l[:])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l = double(l)
+	}
+	if l.IsZero() {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkLabelIsZero isolates the zero-sentinel check.
+func BenchmarkLabelIsZero(b *testing.B) {
+	var l Label
+	l[15] = 1
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.IsZero() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkGarbleBatch measures level-batch garbling throughput across
+// worker counts (the tentpole's compute kernel).
+func BenchmarkGarbleBatch(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
+			g, err := NewGarbler(rand.New(rand.NewSource(53)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(54))
+			const nAND = 4096
+			nIn := uint32(64)
+			for w := uint32(2); w < 2+nIn; w++ {
+				if _, err := g.AssignInput(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ands := make([]circuit.Gate, nAND)
+			next := 2 + nIn
+			for i := range ands {
+				ands[i] = circuit.Gate{Op: circuit.AND,
+					A: 2 + uint32(rng.Intn(int(nIn))), B: 2 + uint32(rng.Intn(int(nIn))), Out: next}
+				next++
+			}
+			g.Grow(next)
+			pool := NewPool(workers)
+			table := make([]byte, nAND*TableSize)
+			b.SetBytes(int64(len(table)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.GarbleBatch(ands, nil, 0, table, pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -43,67 +43,26 @@ func (e *Evaluator) Label(w uint32) (Label, error) {
 	return e.labels[w], nil
 }
 
-// Eval processes one gate. For AND gates it consumes TableSize bytes from
-// table and returns the remainder; XOR and INV gates consume nothing.
+// Eval processes one gate against the internal AND counter, the
+// streaming face of the engine: for AND gates it consumes TableSize
+// bytes from table and returns the remainder; XOR and INV gates consume
+// nothing. The cryptography itself lives in evalAND/evalFree (batch.go),
+// shared with the level-batch engine.
 func (e *Evaluator) Eval(gate circuit.Gate, table []byte) ([]byte, error) {
 	e.ensure(gate.Out)
 	switch gate.Op {
-	case circuit.XOR:
-		a, err := e.Label(gate.A)
-		if err != nil {
-			return table, err
-		}
-		b, err := e.Label(gate.B)
-		if err != nil {
-			return table, err
-		}
-		e.labels[gate.Out] = a.XOR(b)
-		e.have[gate.Out] = true
-		return table, nil
-
-	case circuit.INV:
-		a, err := e.Label(gate.A)
-		if err != nil {
-			return table, err
-		}
-		// Free inversion: the label is carried through unchanged; only
-		// the garbler's semantics map flips.
-		e.labels[gate.Out] = a
-		e.have[gate.Out] = true
-		return table, nil
+	case circuit.XOR, circuit.INV:
+		return table, e.evalFree(gate)
 
 	case circuit.AND:
 		if len(table) < TableSize {
 			return table, fmt.Errorf("gc: garbled table underrun (have %d bytes, need %d)", len(table), TableSize)
 		}
-		var tg, te Label
-		copy(tg[:], table[:LabelSize])
-		copy(te[:], table[LabelSize:TableSize])
-		table = table[TableSize:]
-
-		a, err := e.Label(gate.A)
-		if err != nil {
+		if err := e.evalAND(e.h, gate, e.gid, table[:TableSize]); err != nil {
 			return table, err
 		}
-		b, err := e.Label(gate.B)
-		if err != nil {
-			return table, err
-		}
-		j0 := 2 * e.gid
-		j1 := 2*e.gid + 1
 		e.gid++
-
-		wg := e.h.H(a, j0)
-		if a.LSB() {
-			wg = wg.XOR(tg)
-		}
-		we := e.h.H(b, j1)
-		if b.LSB() {
-			we = we.XOR(te).XOR(a)
-		}
-		e.labels[gate.Out] = wg.XOR(we)
-		e.have[gate.Out] = true
-		return table, nil
+		return table[TableSize:], nil
 
 	default:
 		return table, fmt.Errorf("gc: cannot evaluate op %v", gate.Op)

@@ -90,78 +90,30 @@ func (g *Garbler) ConstLabels() (lFalse, lTrue Label, err error) {
 	return
 }
 
-// Garble processes one gate. For AND gates it appends the two half-gate
-// ciphertexts (TableSize bytes) to table and returns the extended slice;
-// XOR and INV gates are free and return table unchanged.
+// Garble processes one gate against the internal AND counter, the
+// streaming face of the engine: for AND gates it appends the two
+// half-gate ciphertexts (TableSize bytes) to table and returns the
+// extended slice; XOR and INV gates are free and return table unchanged.
+// The cryptography itself lives in garbleAND/garbleFree (batch.go),
+// shared with the level-batch engine.
 func (g *Garbler) Garble(gate circuit.Gate, table []byte) ([]byte, error) {
 	g.ensure(gate.Out)
 	switch gate.Op {
-	case circuit.XOR:
-		a, err := g.ZeroLabel(gate.A)
-		if err != nil {
+	case circuit.XOR, circuit.INV:
+		if err := g.garbleFree(gate); err != nil {
 			return table, err
 		}
-		b, err := g.ZeroLabel(gate.B)
-		if err != nil {
-			return table, err
-		}
-		g.labels[gate.Out] = a.XOR(b)
-		g.have[gate.Out] = true
-		g.FreeGates++
-		return table, nil
-
-	case circuit.INV:
-		a, err := g.ZeroLabel(gate.A)
-		if err != nil {
-			return table, err
-		}
-		// The output's zero-label is the input's one-label: free negation.
-		g.labels[gate.Out] = a.XOR(g.R)
-		g.have[gate.Out] = true
 		g.FreeGates++
 		return table, nil
 
 	case circuit.AND:
-		a0, err := g.ZeroLabel(gate.A)
-		if err != nil {
-			return table, err
+		off := len(table)
+		table = append(table, make([]byte, TableSize)...)
+		if err := g.garbleAND(g.h, gate, g.gid, table[off:off+TableSize]); err != nil {
+			return table[:off], err
 		}
-		b0, err := g.ZeroLabel(gate.B)
-		if err != nil {
-			return table, err
-		}
-		a1 := a0.XOR(g.R)
-		b1 := b0.XOR(g.R)
-		pa := a0.LSB()
-		pb := b0.LSB()
-		j0 := 2 * g.gid
-		j1 := 2*g.gid + 1
 		g.gid++
-
-		// Generator half-gate.
-		ha0 := g.h.H(a0, j0)
-		tg := ha0.XOR(g.h.H(a1, j0))
-		if pb {
-			tg = tg.XOR(g.R)
-		}
-		wg := ha0
-		if pa {
-			wg = wg.XOR(tg)
-		}
-
-		// Evaluator half-gate.
-		hb0 := g.h.H(b0, j1)
-		te := hb0.XOR(g.h.H(b1, j1)).XOR(a0)
-		we := hb0
-		if pb {
-			we = we.XOR(te).XOR(a0)
-		}
-
-		g.labels[gate.Out] = wg.XOR(we)
-		g.have[gate.Out] = true
 		g.ANDGates++
-		table = append(table, tg[:]...)
-		table = append(table, te[:]...)
 		return table, nil
 
 	default:

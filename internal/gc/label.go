@@ -54,27 +54,26 @@ func (l Label) LSB() bool { return l[0]&1 == 1 }
 // IsZero reports whether the label is all zeros (used as a sentinel for
 // "label missing" in integrity checks).
 func (l Label) IsZero() bool {
-	for _, b := range l {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+	return binary.LittleEndian.Uint64(l[0:8])|binary.LittleEndian.Uint64(l[8:16]) == 0
 }
 
 // double multiplies the label by x in GF(2^128) with the standard
 // reduction polynomial (x^128 + x^7 + x^2 + x + 1), treating the label as
-// a big-endian polynomial — the usual tweakable-cipher doubling.
+// a big-endian polynomial — the usual tweakable-cipher doubling. It runs
+// on every garbling-hash call, so it is two uint64 shifts rather than a
+// byte-wise carry loop.
 func double(l Label) Label {
-	var r Label
-	carry := byte(0)
-	for i := LabelSize - 1; i >= 0; i-- {
-		r[i] = l[i]<<1 | carry
-		carry = l[i] >> 7
-	}
+	hi := binary.BigEndian.Uint64(l[0:8])
+	lo := binary.BigEndian.Uint64(l[8:16])
+	carry := hi >> 63
+	hi = hi<<1 | lo>>63
+	lo <<= 1
 	if carry != 0 {
-		r[LabelSize-1] ^= 0x87
+		lo ^= 0x87
 	}
+	var r Label
+	binary.BigEndian.PutUint64(r[0:8], hi)
+	binary.BigEndian.PutUint64(r[8:16], lo)
 	return r
 }
 

@@ -16,9 +16,15 @@ import (
 // A Program is immutable after Compile and safe for concurrent replay
 // from any number of sessions.
 type Program struct {
-	Tape   *circuit.Tape
-	Layout *Layout
-	Stats  circuit.Stats
+	Tape *circuit.Tape
+	// Schedule is the level-parallel execution plan derived from the
+	// tape: strata of mutually independent gates with per-level wire
+	// liveness, which the core engine garbles/evaluates with a worker
+	// pool. Both parties compile byte-identical programs, so they agree
+	// on every hash tweak and table offset the schedule assigns.
+	Schedule *circuit.Schedule
+	Layout   *Layout
+	Stats    circuit.Stats
 }
 
 // Compile generates the network's netlist once, recording it as a
@@ -35,5 +41,9 @@ func Compile(net *nn.Network, f fixed.Format, opt Options) (*Program, error) {
 	if err := b.Err(); err != nil {
 		return nil, err
 	}
-	return &Program{Tape: tape, Layout: lay, Stats: b.Stats()}, nil
+	sched, err := circuit.NewSchedule(tape)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Tape: tape, Schedule: sched, Layout: lay, Stats: b.Stats()}, nil
 }

@@ -253,9 +253,13 @@ func genConv(b *circuit.Builder, c *nn.Conv2D, net *nn.Network, li int, x []stdc
 		}
 	}
 	// Conv weights and biases are reused across positions: retire at end
-	// (except bias words that escaped as outputs).
-	for _, w := range weights {
-		b.Drop(w...)
+	// (except bias words that escaped as outputs). Iterate the mask, not
+	// the map: generation must be deterministic, or the two parties'
+	// recycled wire ids (and now the compiled schedules) would diverge.
+	for i, m := range mask {
+		if m {
+			b.Drop(weights[i]...)
+		}
 	}
 	for i, bw := range biases {
 		if !biasEscaped[i] {

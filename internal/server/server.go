@@ -35,13 +35,15 @@ type Stats struct {
 }
 
 // Server serves secure-inference sessions over TCP (or any net.Listener).
-// Create with New, start with Serve or ListenAndServe, stop with
-// Shutdown (graceful) or Close (abrupt).
+// Create with New, start with Serve, ServeContext, or ListenAndServe,
+// stop with Shutdown (graceful) or Close (abrupt).
 type Server struct {
 	core *core.Server
 
 	// Logf, when set, receives per-session log lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
+
+	idleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -57,15 +59,38 @@ type Server struct {
 	bytesRecv  atomic.Int64
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithEngine selects the session execution-engine configuration (worker
+// count, table chunk size) every session of this server evaluates with.
+func WithEngine(cfg core.EngineConfig) Option {
+	return func(s *Server) { s.core.Engine = cfg }
+}
+
+// WithIdleTimeout bounds how long a session connection may sit idle.
+// Each read and each write arms a deadline of d; a client that stalls
+// mid-protocol — never speaking, or holding the connection open while
+// refusing to drain the server's writes — has its connection closed
+// instead of pinning a goroutine and its engine state forever. Zero
+// (the default) disables the timeout.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
 // New builds a server around the private model and eagerly compiles the
 // inference netlist, so the first client doesn't pay generation latency
-// and every session replays the same shared tape.
-func New(model *nn.Network, f fixed.Format) (*Server, error) {
+// and every session replays the same shared program.
+func New(model *nn.Network, f fixed.Format, opts ...Option) (*Server, error) {
 	cs := &core.Server{Net: model, Fmt: f}
+	s := &Server{core: cs, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
 	if err := cs.Precompile(); err != nil {
 		return nil, fmt.Errorf("server: compile netlist: %w", err)
 	}
-	return &Server{core: cs, conns: make(map[net.Conn]struct{})}, nil
+	return s, nil
 }
 
 // ProgramStats exposes gate counts of the compiled netlist (for logging).
@@ -96,6 +121,14 @@ var ErrServerClosed = errors.New("server: closed")
 // each in its own goroutine. It blocks until the listener fails or the
 // server is shut down, in which case it returns ErrServerClosed.
 func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeContext(context.Background(), ln)
+}
+
+// ServeContext is Serve with cancellation propagation: when ctx is
+// cancelled, the listener stops accepting and every in-flight session
+// connection is closed, unblocking its goroutine mid-protocol. It
+// returns ErrServerClosed after a cancellation, like any other shutdown.
+func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -104,6 +137,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.listener = ln
 	s.mu.Unlock()
+
+	// Cancellation force-closes the whole server: no new accepts, every
+	// session connection closed (which unblocks its read).
+	stop := context.AfterFunc(ctx, func() { s.Close() })
+	defer stop()
 
 	for {
 		conn, err := ln.Accept()
@@ -129,6 +167,30 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// idleConn arms a deadline before every read and write, so a session
+// stalls for at most the idle timeout no matter where in the protocol
+// the peer went quiet — including a peer that keeps the connection open
+// but stops draining its receive window (which would otherwise pin the
+// server in a blocked Write that no read deadline can interrupt).
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c idleConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -142,7 +204,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.active.Add(-1)
 
 	start := time.Now()
-	tc := transport.New(conn)
+	rw := io.ReadWriter(conn)
+	if s.idleTimeout > 0 {
+		rw = idleConn{Conn: conn, idle: s.idleTimeout}
+	}
+	tc := transport.New(rw)
 	st, err := s.core.ServeSession(tc)
 	if st != nil {
 		s.inferences.Add(st.Inferences)

@@ -234,3 +234,173 @@ func TestShutdownRefusesNewConnections(t *testing.T) {
 		t.Fatal("dial succeeded after shutdown")
 	}
 }
+
+// TestIdleTimeoutReapsStalledClient covers WithIdleTimeout: a client that
+// connects and never speaks (or goes quiet mid-protocol) must not pin a
+// connection goroutine forever.
+func TestIdleTimeoutReapsStalledClient(t *testing.T) {
+	model := testModel(t)
+	srv, err := New(model, fixed.Default, WithIdleTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	// A mute client: opens the connection and sends nothing.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Poll for both counters: the session goroutine bumps Errors before
+	// its deferred ActiveSessions decrement runs.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := srv.Stats(); st.Errors == 1 && st.ActiveSessions == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.Errors != 1 || got.ActiveSessions != 0 {
+		t.Fatalf("server stats %+v, want the stalled session reaped as 1 error", got)
+	}
+	// The server's read deadline must also have closed the connection.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("stalled connection still open after idle timeout")
+	}
+
+	// A live client on the same server still works: the deadline is per
+	// read, not per session, so active sessions are unaffected.
+	nc2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	cli := &core.Client{Rng: rand.New(rand.NewSource(21))}
+	x := sample(rand.New(rand.NewSource(22)), 6)
+	label, _, err := cli.Infer(transport.New(nc2), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := model.PredictFixed(fixed.Default, x); label != want {
+		t.Fatalf("secure label %d, plaintext %d", label, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServeContextCancellation covers ServeContext: cancelling the
+// context must stop the accept loop and force-close in-flight session
+// connections, releasing their goroutines mid-protocol.
+func TestServeContextCancellation(t *testing.T) {
+	model := testModel(t)
+	srv, err := New(model, fixed.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeContext(ctx, ln) }()
+
+	// Park a client mid-session (handshake sent, then silence) so a
+	// connection goroutine is blocked in a protocol read when the
+	// context dies.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	tc := transport.New(nc)
+	if err := tc.Send(transport.MsgHello, []byte("deepsecure/2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().ActiveSessions != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != ErrServerClosed {
+			t.Fatalf("ServeContext returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancellation")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.Stats().ActiveSessions != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats(); got.ActiveSessions != 0 {
+		t.Fatalf("server stats %+v, want all sessions released after cancel", got)
+	}
+	// The parked client's connection must be dead.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("session connection still open after context cancellation")
+	}
+}
+
+// TestWithEngineOption pins that the engine configuration reaches the
+// session layer: a server configured with an explicit worker count and
+// chunk size still interoperates with default-configured clients.
+func TestWithEngineOption(t *testing.T) {
+	model := testModel(t)
+	srv, err := New(model, fixed.Default, WithEngine(core.EngineConfig{Workers: 3, ChunkBytes: 1024}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cli := &core.Client{Rng: rand.New(rand.NewSource(31)), Engine: core.EngineConfig{Workers: 2, ChunkBytes: 4096}}
+	x := sample(rand.New(rand.NewSource(32)), 6)
+	label, _, err := cli.Infer(transport.New(nc), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := model.PredictFixed(fixed.Default, x); label != want {
+		t.Fatalf("secure label %d, plaintext %d", label, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
