@@ -24,6 +24,7 @@ import (
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/stdcell"
 	"deepsecure/internal/transport"
 )
@@ -695,6 +696,86 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+		})
+	}
+}
+
+// BenchmarkOTOnline measures the per-inference online OT cost with the
+// precomputed random-OT pool on versus off (same model and session shape
+// as BenchmarkEngineThroughput). Pool off, every input batch runs the
+// full IKNP exchange — PRG expansion, 16m-byte U matrix, transpose, and
+// 2m hashes — on the critical path; pool on, the same batch is one
+// derandomization exchange (an m/8-byte correction vector against
+// pre-generated OTs, XORs only) and the IKNP crypto moves into session
+// setup and refill gaps. Results are committed as BENCH_ot.json.
+func BenchmarkOTOnline(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(96),
+		nn.NewDense(32),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(81)))
+	const k = 4
+	rng := rand.New(rand.NewSource(82))
+	xs := make([][]float64, k)
+	for i := range xs {
+		xs[i] = make([]float64, 96)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	modes := []struct {
+		name string
+		cfg  precomp.PoolConfig
+	}{
+		{"poolOff", precomp.PoolConfig{}},
+		{"poolOn", precomp.PoolConfig{Capacity: 1 << 16, RefillLowWater: 1 << 14, Background: true}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			srv := &core.Server{Net: net, Fmt: fixed.Default, OTPool: mode.cfg}
+			if err := srv.Precompile(); err != nil {
+				b.Fatal(err)
+			}
+			cli := &core.Client{}
+			var srvStats core.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cConn, sConn, closer := transport.Pipe()
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					st, err := srv.ServeSession(sConn)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					srvStats.OTOnlineTime += st.OTOnlineTime
+					srvStats.OTOfflineTime += st.OTOfflineTime
+					srvStats.OTsConsumed += st.OTsConsumed
+					srvStats.OTsDirect += st.OTsDirect
+					srvStats.OTBatches += st.OTBatches
+					srvStats.OTRefills += st.OTRefills
+					srvStats.Inferences += st.Inferences
+				}()
+				if _, _, err := cli.InferMany(cConn, xs); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				closer.Close()
+			}
+			inf := float64(srvStats.Inferences)
+			b.ReportMetric(srvStats.OTOnlineTime.Seconds()*1e3/inf, "otOnlineMs/inf")
+			b.ReportMetric(srvStats.OTOfflineTime.Seconds()*1e3/inf, "otOfflineMs/inf")
+			b.ReportMetric(float64(srvStats.OTBatches)/inf, "otExchanges/inf")
+			b.ReportMetric(float64(srvStats.OTsConsumed+srvStats.OTsDirect)/inf, "OTs/inf")
+			b.ReportMetric(float64(srvStats.OTRefills)/inf, "refills/inf")
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "inf/s")
 		})
 	}
 }

@@ -58,6 +58,9 @@ func main() {
 	workers := flag.Int("workers", 0, "engine workers per session (0 = GOMAXPROCS, 1 = sequential)")
 	chunkKB := flag.Int("chunk-kb", 0, "garbled-table streaming chunk in KiB (0 = default 1024)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "per-session idle read deadline (0 disables)")
+	otPool := flag.Int("ot-pool", 1<<16, "random-OT pool capacity per session (0 = no precomputation, IKNP online)")
+	otLowWater := flag.Int("ot-low-water", 0, "refill the OT pool when fewer remain (0 = capacity/4)")
+	otBackground := flag.Bool("ot-background", true, "precompute OT refills on a background goroutine")
 	flag.Parse()
 
 	net0, err := buildModel(*model)
@@ -67,9 +70,15 @@ func main() {
 	net0.InitWeights(rand.New(rand.NewSource(*seed)))
 
 	start := time.Now()
+	poolCfg := deepsecure.PoolConfig{
+		Capacity:       *otPool,
+		RefillLowWater: *otLowWater,
+		Background:     *otBackground,
+	}
 	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
 		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
-		deepsecure.WithIdleTimeout(*idle))
+		deepsecure.WithIdleTimeout(*idle),
+		deepsecure.WithOTPool(poolCfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,14 +86,21 @@ func main() {
 	andGates, totalGates := srv.ProgramStats()
 	log.Printf("compiled %s netlist in %v: %d gates (%d non-XOR)",
 		net0.Arch(), time.Since(start).Round(time.Millisecond), totalGates, andGates)
+	if eff := poolCfg.Effective(); eff.Enabled() {
+		log.Printf("OT precomputation on: %d random OTs per session at setup, refill below %d (background=%v)",
+			eff.Capacity, eff.RefillLowWater, eff.Background)
+	} else {
+		log.Printf("OT precomputation off: weight transfers run IKNP online")
+	}
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in",
+				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s)",
 					st.Sessions, st.ActiveSessions, st.Inferences, st.Errors,
-					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6)
+					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
+					st.OTsPooled, st.OTsConsumed, st.OTRefills)
 			}
 		}()
 	}
@@ -110,5 +126,6 @@ func main() {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("served %d session(s), %d inference(s) total", st.Sessions, st.Inferences)
+	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s)",
+		st.Sessions, st.Inferences, st.OTsPooled, st.OTsConsumed, st.OTRefills)
 }

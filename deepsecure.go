@@ -30,6 +30,7 @@ import (
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/project"
 	"deepsecure/internal/prune"
 	"deepsecure/internal/server"
@@ -81,6 +82,19 @@ type (
 	// streaming chunk. Set it on a Client, or pass it to NewServer via
 	// WithEngine.
 	EngineConfig = core.EngineConfig
+	// PoolConfig sizes the offline random-OT pool (Beaver-style OT
+	// precomputation): Capacity random OTs are bulk-generated at session
+	// setup and refilled once fewer than RefillLowWater remain;
+	// Background moves the refill crypto onto a helper goroutine so a
+	// refill exchange only pays the wire round trip. The zero value
+	// disables pooling. Set it on a SessionServer, or pass it to
+	// NewServer via WithOTPool; clients need no configuration (they
+	// follow the server's in-band announcement).
+	PoolConfig = precomp.PoolConfig
+	// SessionServer answers secure-inference sessions on caller-provided
+	// connections (the conn-level counterpart of InferenceServer) with
+	// explicit randomness, engine, and OT-pool configuration.
+	SessionServer = core.Server
 	// ServerOption configures NewServer / ListenAndServe.
 	ServerOption = server.Option
 )
@@ -93,6 +107,10 @@ var (
 	// WithIdleTimeout bounds how long a session connection may sit idle
 	// between reads before it is reaped.
 	WithIdleTimeout = server.WithIdleTimeout
+	// WithOTPool sizes the offline random-OT pool every session
+	// precomputes at setup and refills in idle gaps, leaving one
+	// derandomization exchange per input batch on the critical path.
+	WithOTPool = server.WithOTPool
 )
 
 // DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"deepsecure"
 	"deepsecure/internal/datasets"
@@ -51,22 +52,32 @@ func main() {
 
 	// Client and server connected by an in-memory pipe; swap in a TCP
 	// connection for the distributed deployment (see cmd/deepsecure-demo).
+	// The server precomputes a random-OT pool at session setup, so each
+	// inference's weight transfer is one derandomization exchange with no
+	// cryptography on the critical path.
 	clientConn, serverConn, closer := deepsecure.Pipe()
 	defer closer.Close()
+	srv := &deepsecure.SessionServer{Net: net, Fmt: deepsecure.DefaultFormat,
+		OTPool: deepsecure.PoolConfig{Capacity: 1 << 13, Background: true}}
 	go func() {
-		if err := deepsecure.Serve(serverConn, net, deepsecure.DefaultFormat); err != nil {
+		if err := srv.Serve(serverConn); err != nil {
 			log.Fatal(err)
 		}
 	}()
 
-	x := set.TestX[0]
-	label, st, err := deepsecure.Infer(clientConn, x)
+	xs := [][]float64{set.TestX[0], set.TestX[1]}
+	labels, st, err := deepsecure.InferMany(clientConn, xs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("secure inference label: %d (true %d)\n", label, set.TestY[0])
+	fmt.Printf("secure inference labels: %v (true %d, %d)\n", labels, set.TestY[0], set.TestY[1])
 	fmt.Printf("  %d AND gates garbled, %.2f MB sent, %.2f MB received, %v\n",
 		st.ANDGates,
 		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6, st.Duration)
-	fmt.Printf("  plaintext check: %d\n", net.PredictFixed(deepsecure.DefaultFormat, x))
+	fmt.Printf("  OT offline %v (%d pooled, %d refills) / online %v (%d consumed)\n",
+		st.OTOfflineTime.Round(time.Millisecond), st.OTsPooled, st.OTRefills,
+		st.OTOnlineTime.Round(10*time.Microsecond), st.OTsConsumed)
+	fmt.Printf("  plaintext check: %d, %d\n",
+		net.PredictFixed(deepsecure.DefaultFormat, xs[0]),
+		net.PredictFixed(deepsecure.DefaultFormat, xs[1]))
 }

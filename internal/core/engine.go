@@ -8,6 +8,7 @@ import (
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/ot"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
 
@@ -109,7 +110,7 @@ type garbleEngine struct {
 	g     *gc.Garbler
 	pool  *gc.Pool
 	conn  *transport.Conn
-	ots   *ot.ExtSender
+	ots   *precomp.SenderPool
 	cfg   EngineConfig
 
 	inputBits []bool
@@ -162,7 +163,9 @@ func (en *garbleEngine) doInputs(st *circuit.Step) error {
 		en.labelBuf = payload[:0] // keep the (possibly grown) buffer
 		return en.conn.Send(transport.MsgInputLabels, payload)
 	}
-	// Evaluator inputs travel by OT extension: one batch per step.
+	// Evaluator inputs travel by OT: one batch per step, served from the
+	// precomputed random-OT pool (derandomization) when the session has
+	// one, or by direct IKNP otherwise.
 	pairs := make([][2]ot.Msg, len(st.Wires))
 	for i, w := range st.Wires {
 		l0, err := en.g.AssignInput(w)
@@ -277,7 +280,7 @@ type evalEngine struct {
 	e     *gc.Evaluator
 	pool  *gc.Pool
 	conn  *transport.Conn
-	ots   *ot.ExtReceiver
+	ots   *precomp.ReceiverPool
 	cfg   EngineConfig
 
 	inputBits []bool

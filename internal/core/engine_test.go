@@ -14,6 +14,7 @@ import (
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/ot"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
 
@@ -228,7 +229,7 @@ func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, work
 			sched: sched,
 			pool:  gc.NewPool(cfg.workers()),
 			conn:  eConn,
-			ots:   ots,
+			ots:   precomp.NewReceiverPool(eConn, ots, rng, precomp.PoolConfig{}),
 			cfg:   cfg,
 		}
 		for k := 0; k < nInfer; k++ {
@@ -291,7 +292,7 @@ func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, work
 			g:         g,
 			pool:      pool,
 			conn:      gConn,
-			ots:       ots,
+			ots:       precomp.NewSenderPool(gConn, ots, rng),
 			cfg:       cfg,
 			inputBits: gBits,
 			free:      free,

@@ -33,13 +33,16 @@ import (
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
 
-// protocolHello identifies the session protocol. Version 2 is the
-// multi-inference session framing (next-infer/end-session markers, one OT
-// base phase per session).
-const protocolHello = "deepsecure/2"
+// protocolHello identifies the session protocol. Version 3 adds the
+// offline OT-precomputation phase to version 2's multi-inference framing:
+// after the OT-extension base phase the server announces its random-OT
+// pool (count 0 = disabled) and, when pooling is on, the parties bulk-fill
+// it at session setup and derandomize per input batch thereafter.
+const protocolHello = "deepsecure/3"
 
 // Stats summarizes one secure inference — or, for session-level calls, a
 // whole session of them.
@@ -50,6 +53,43 @@ type Stats struct {
 	ANDGates      int64
 	FreeGates     int64
 	Inferences    int64
+
+	// Offline/online OT split (Beaver-style precomputation): offline
+	// covers the extension base phase and random-OT pool fills — crypto
+	// paid at session setup and in refill gaps — while online is the OT
+	// work left on the inference critical path (per-batch
+	// derandomization, or full IKNP when pooling is off).
+	OTOfflineTime time.Duration
+	OTOnlineTime  time.Duration
+	OTsPooled     int64 // random OTs bulk-generated into the pool
+	OTsConsumed   int64 // pooled OTs spent by derandomization
+	OTsDirect     int64 // OTs served by direct (unpooled) IKNP
+	OTRefills     int64 // pool fill exchanges, the initial fill included
+	OTBatches     int64 // online OT exchanges (one per input batch)
+}
+
+// addOT folds a pool-stats delta into the Stats.
+func (st *Stats) addOT(d precomp.Stats) {
+	st.OTOfflineTime += d.OfflineTime
+	st.OTOnlineTime += d.OnlineTime
+	st.OTsPooled += d.Generated
+	st.OTsConsumed += d.Consumed
+	st.OTsDirect += d.Direct
+	st.OTRefills += d.Refills
+	st.OTBatches += d.Batches
+}
+
+// otDelta subtracts two pool-stat snapshots.
+func otDelta(after, before precomp.Stats) precomp.Stats {
+	return precomp.Stats{
+		Generated:   after.Generated - before.Generated,
+		Consumed:    after.Consumed - before.Consumed,
+		Direct:      after.Direct - before.Direct,
+		Refills:     after.Refills - before.Refills,
+		Batches:     after.Batches - before.Batches,
+		OfflineTime: after.OfflineTime - before.OfflineTime,
+		OnlineTime:  after.OnlineTime - before.OnlineTime,
+	}
 }
 
 // Server hosts the private model and evaluates garbled circuits for
@@ -68,6 +108,11 @@ type Server struct {
 	// Engine tunes the level-scheduled evaluation engine (worker count,
 	// table chunking). The zero value derives workers from GOMAXPROCS.
 	Engine EngineConfig
+	// OTPool sizes the offline random-OT pool each session precomputes at
+	// setup and refills in idle gaps (the server owns the policy; clients
+	// follow whatever it announces). The zero value disables pooling and
+	// every input batch runs IKNP online.
+	OTPool precomp.PoolConfig
 
 	compileOnce sync.Once
 	prog        *netgen.Program
@@ -143,9 +188,21 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	weightBits := nn.WeightBits(s.Net, s.Fmt)
 
 	// OT-extension base phase: once per session, amortized over every
-	// weight transfer of every inference.
+	// weight transfer of every inference. Base-phase and pool-fill time
+	// are the protocol's offline OT cost.
+	baseStart := time.Now()
 	ots, err := ot.NewExtReceiver(conn, rng)
 	if err != nil {
+		return finish(), err
+	}
+	st.OTOfflineTime += time.Since(baseStart)
+
+	// Random-OT pool: announce the server's policy and, when enabled,
+	// bulk-fill at setup so per-inference batches only derandomize.
+	otp := precomp.NewReceiverPool(conn, ots, rng, s.OTPool)
+	otBase := otp.Stats()
+	defer func() { st.addOT(otDelta(otp.Stats(), otBase)) }()
+	if err := otp.Announce(); err != nil {
 		return finish(), err
 	}
 
@@ -155,7 +212,7 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 		sched:     prog.Schedule,
 		pool:      gc.NewPool(s.Engine.workers()),
 		conn:      conn,
-		ots:       ots,
+		ots:       otp,
 		cfg:       s.Engine,
 		inputBits: weightBits,
 	}
@@ -264,8 +321,12 @@ type Session struct {
 	rng   io.Reader
 	f     fixed.Format
 	prog  *netgen.Program
-	ots   *ot.ExtSender
+	ots   *precomp.SenderPool
 	start time.Time
+
+	// baseTime is the OT-extension base-phase duration (offline cost,
+	// reported once in session Stats).
+	baseTime time.Duration
 
 	// Connection byte counters at session start, so Stats reports this
 	// session's traffic even when the conn carried earlier sessions.
@@ -317,8 +378,17 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseStart := time.Now()
 	ots, err := ot.NewExtSender(conn, rng)
 	if err != nil {
+		return nil, err
+	}
+	baseTime := time.Since(baseStart)
+	// Pool announcement: the server says whether this session
+	// precomputes OTs; with an enabled pool the initial bulk fill happens
+	// here, as part of session setup.
+	otp := precomp.NewSenderPool(conn, ots, rng)
+	if err := otp.HandleAnnounce(); err != nil {
 		return nil, err
 	}
 	return &Session{
@@ -326,7 +396,8 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		rng:      rng,
 		f:        spec.Format,
 		prog:     prog,
-		ots:      ots,
+		ots:      otp,
+		baseTime: baseTime,
 		start:    start,
 		sent0:    sent0,
 		recv0:    recv0,
@@ -353,6 +424,7 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 	}
 	start := time.Now()
 	sent0, recv0 := s.conn.BytesSent, s.conn.BytesReceived
+	ot0 := s.ots.Stats()
 	if got, want := len(x), s.inputLen; got != want {
 		// Validated before any frame is sent: the session stays usable.
 		return 0, nil, fmt.Errorf("core: sample has %d features, model wants %d", got, want)
@@ -444,6 +516,7 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 		FreeGates:     g.FreeGates,
 		Inferences:    1,
 	}
+	st.addOT(otDelta(s.ots.Stats(), ot0))
 	return label, st, nil
 }
 
@@ -469,15 +542,22 @@ func (s *Session) Close() error {
 // Stats returns cumulative statistics for the whole session so far,
 // including the handshake and OT base phase.
 func (s *Session) Stats() *Stats {
-	return &Stats{
+	st := &Stats{
 		BytesSent:     s.conn.BytesSent - s.sent0,
 		BytesReceived: s.conn.BytesReceived - s.recv0,
 		Duration:      time.Since(s.start),
 		ANDGates:      s.andGates,
 		FreeGates:     s.freeGates,
 		Inferences:    s.inferences,
+		OTOfflineTime: s.baseTime,
 	}
+	st.addOT(s.ots.Stats())
+	return st
 }
+
+// OTPooled reports whether the server enabled OT precomputation for this
+// session.
+func (s *Session) OTPooled() bool { return s.ots.Pooled() }
 
 // Infer classifies one sample over a fresh single-inference session
 // (Fig. 3 client side) and returns the inference label. The reported

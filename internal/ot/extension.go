@@ -103,15 +103,28 @@ func NewExtSender(conn *transport.Conn, rng io.Reader) (*ExtSender, error) {
 // Send runs one extension batch, obliviously transferring pairs[j][r_j]
 // for the receiver's hidden choice bits r.
 func (es *ExtSender) Send(pairs [][2]Msg) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	u, err := es.conn.Recv(transport.MsgOTExtU)
+	if err != nil {
+		return err
+	}
+	return es.SendWithU(pairs, u)
+}
+
+// SendWithU is the sender half of one extension batch given an
+// already-received U matrix — the entry point for callers that multiplex
+// the connection and dispatch frames themselves (the precomputed-OT pool
+// receives U behind a refill announcement). Calls must happen in the wire
+// order of the U frames: the per-seed PRG streams and the hash counter are
+// stateful.
+func (es *ExtSender) SendWithU(pairs [][2]Msg, u []byte) error {
 	m := len(pairs)
 	if m == 0 {
 		return nil
 	}
 	mBytes := (m + 7) / 8
-	u, err := es.conn.Recv(transport.MsgOTExtU)
-	if err != nil {
-		return err
-	}
 	if len(u) != k*mBytes {
 		return fmt.Errorf("ot: U matrix is %d bytes, want %d", len(u), k*mBytes)
 	}
@@ -184,12 +197,27 @@ func NewExtReceiver(conn *transport.Conn, rng io.Reader) (*ExtReceiver, error) {
 	return er, nil
 }
 
-// Receive runs one extension batch and returns the chosen messages.
-func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
+// PreparedReceive carries the receiver-side state of one extension batch
+// between building the U matrix and decrypting the sender's Y response.
+// The split lets the precomputed-OT pool run the PRG expansion and matrix
+// transpose (the receiver's heavy crypto) off the critical path and send
+// U at a protocol point of its choosing.
+type PreparedReceive struct {
+	// U is the masked column matrix to put on the wire (k·ceil(m/8)
+	// bytes).
+	U       []byte
+	choices []bool
+	rows    [][16]byte
+}
+
+// Prepare runs the receiver's compute half of one extension batch: it
+// advances the per-seed PRG streams, builds the U matrix for the wire,
+// and transposes the T matrix into hash-ready rows. Prepare calls must
+// happen in the wire order of their U frames (the streams are stateful),
+// but a Prepare may run on another goroutine as long as no other use of
+// the ExtReceiver overlaps it.
+func (er *ExtReceiver) Prepare(choices []bool) *PreparedReceive {
 	m := len(choices)
-	if m == 0 {
-		return nil, nil
-	}
 	mBytes := (m + 7) / 8
 	r := packBits(choices)
 
@@ -205,24 +233,27 @@ func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
 		tCols[i] = t
 		u = append(u, ui...)
 	}
-	if err := er.conn.Send(transport.MsgOTExtU, u); err != nil {
-		return nil, err
+	return &PreparedReceive{
+		U:       u,
+		choices: append([]bool(nil), choices...),
+		rows:    transposeToRows(tCols, m),
 	}
-	rows := transposeToRows(tCols, m)
+}
 
-	y, err := er.conn.Recv(transport.MsgOTExtY)
-	if err != nil {
-		return nil, err
-	}
+// Finish decrypts the sender's Y response for a prepared batch and
+// returns the chosen messages. Finish calls must happen in the wire order
+// of the Y frames (the hash counter is stateful).
+func (er *ExtReceiver) Finish(pr *PreparedReceive, y []byte) ([]Msg, error) {
+	m := len(pr.choices)
 	if len(y) != m*2*MsgLen {
 		return nil, fmt.Errorf("ot: Y payload is %d bytes, want %d", len(y), m*2*MsgLen)
 	}
 	out := make([]Msg, m)
 	for j := 0; j < m; j++ {
-		h := er.h.H(gc.Label(rows[j]), er.idx)
+		h := er.h.H(gc.Label(pr.rows[j]), er.idx)
 		er.idx++
 		off := j * 2 * MsgLen
-		if choices[j] {
+		if pr.choices[j] {
 			off += MsgLen
 		}
 		for b := 0; b < MsgLen; b++ {
@@ -230,4 +261,20 @@ func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
 		}
 	}
 	return out, nil
+}
+
+// Receive runs one extension batch and returns the chosen messages.
+func (er *ExtReceiver) Receive(choices []bool) ([]Msg, error) {
+	if len(choices) == 0 {
+		return nil, nil
+	}
+	pr := er.Prepare(choices)
+	if err := er.conn.Send(transport.MsgOTExtU, pr.U); err != nil {
+		return nil, err
+	}
+	y, err := er.conn.Recv(transport.MsgOTExtY)
+	if err != nil {
+		return nil, err
+	}
+	return er.Finish(pr, y)
 }

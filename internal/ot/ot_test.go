@@ -193,6 +193,200 @@ func TestExtensionMultipleBatches(t *testing.T) {
 	check(pairsB, choicesB, gotB)
 }
 
+func TestExtensionEmptyBatch(t *testing.T) {
+	// An empty choice vector must be a no-op on both sides — no frames,
+	// no stream advance — and must not desynchronize later batches on
+	// the same extension stream.
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(51))
+	pairs := randPairs(rng, 20)
+	choices := randChoices(rng, 20)
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(52)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		if err := s.Send(nil); err != nil { // empty batch
+			sendErr = err
+			return
+		}
+		sendErr = s.Send(pairs)
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(53)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent0 := b.BytesSent
+	empty, err := r.Receive(nil)
+	if err != nil {
+		t.Fatalf("empty Receive: %v", err)
+	}
+	if empty != nil {
+		t.Errorf("empty Receive returned %d messages", len(empty))
+	}
+	if b.BytesSent != sent0 {
+		t.Error("empty batch put frames on the wire")
+	}
+	got, err := r.Receive(choices)
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range choices {
+		want := pairs[i][0]
+		if c {
+			want = pairs[i][1]
+		}
+		if got[i] != want {
+			t.Errorf("post-empty OT %d wrong", i)
+		}
+	}
+}
+
+func TestExtensionPackingBoundaryBackToBack(t *testing.T) {
+	// Back-to-back batches on ONE extension stream with sizes walking
+	// the 8-bit packing boundary: any bit-packing off-by-one in U, the
+	// correction vector, or the per-seed keystream accounting corrupts
+	// the batch after the unaligned one.
+	sizes := []int{7, 8, 9, 15, 16, 17, 1, 24, 5}
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(54))
+	batchPairs := make([][][2]Msg, len(sizes))
+	batchChoices := make([][]bool, len(sizes))
+	for i, n := range sizes {
+		batchPairs[i] = randPairs(rng, n)
+		batchChoices[i] = randChoices(rng, n)
+	}
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(55)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		for _, pairs := range batchPairs {
+			if err := s.Send(pairs); err != nil {
+				sendErr = err
+				return
+			}
+		}
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(56)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, choices := range batchChoices {
+		got, err := r.Receive(choices)
+		if err != nil {
+			t.Fatalf("batch %d (m=%d): %v", bi, len(choices), err)
+		}
+		for i, c := range choices {
+			want := batchPairs[bi][i][0]
+			if c {
+				want = batchPairs[bi][i][1]
+			}
+			if got[i] != want {
+				t.Errorf("batch %d (m=%d) OT %d wrong", bi, len(choices), i)
+			}
+		}
+	}
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+}
+
+func TestPreparedReceiveMatchesInline(t *testing.T) {
+	// The Prepare/Finish split (used by the precomputed-OT pool) must
+	// transfer identically to the inline Receive on the same stream,
+	// including when the two styles alternate.
+	a, b, closer := transport.Pipe()
+	defer closer.Close()
+	rng := rand.New(rand.NewSource(57))
+	pairs1 := randPairs(rng, 21)
+	choices1 := randChoices(rng, 21)
+	pairs2 := randPairs(rng, 13)
+	choices2 := randChoices(rng, 13)
+
+	var wg sync.WaitGroup
+	var sendErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := NewExtSender(a, rand.New(rand.NewSource(58)))
+		if err != nil {
+			sendErr = err
+			return
+		}
+		if err := s.Send(pairs1); err != nil {
+			sendErr = err
+			return
+		}
+		// Second batch through the split sender path.
+		u, err := a.Recv(transport.MsgOTExtU)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		sendErr = s.SendWithU(pairs2, u)
+	}()
+	r, err := NewExtReceiver(b, rand.New(rand.NewSource(59)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First batch via the split receiver path.
+	pr := r.Prepare(choices1)
+	if err := b.Send(transport.MsgOTExtU, pr.U); err != nil {
+		t.Fatal(err)
+	}
+	y, err := b.Recv(transport.MsgOTExtY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := r.Finish(pr, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second batch inline.
+	got2, err := r.Receive(choices2)
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(pairs [][2]Msg, choices []bool, got []Msg) {
+		t.Helper()
+		for i, c := range choices {
+			want := pairs[i][0]
+			if c {
+				want = pairs[i][1]
+			}
+			if got[i] != want {
+				t.Errorf("OT %d wrong", i)
+			}
+		}
+	}
+	check(pairs1, choices1, got1)
+	check(pairs2, choices2, got2)
+}
+
 func TestTransposeRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	m := 37

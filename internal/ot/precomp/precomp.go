@@ -1,0 +1,556 @@
+// Package precomp is the offline OT-precomputation subsystem: a random-OT
+// pool that moves the IKNP extension's cryptography off the inference
+// critical path (Beaver-style OT derandomization).
+//
+// Offline, the two parties bulk-generate random OTs over the existing
+// extension — the sender banks n uniformly random label pairs (r0, r1),
+// the receiver banks n random choice bits c and the corresponding r_c.
+// Online, transferring a real pair (x0, x1) under a real choice bit b
+// costs one message each way and XORs only:
+//
+//	receiver → sender:  d = b ⊕ c                (MsgOTDerandC, m/8 bytes)
+//	sender → receiver:  y0 = x0 ⊕ r_d, y1 = x1 ⊕ r_{1⊕d}   (MsgOTDerandM)
+//	receiver:           x_b = y_b ⊕ r_c
+//
+// The receiver side (the evaluator, whose choice bits are the model's
+// weight bits) owns the pool policy: it announces the pool after the
+// OT-extension base phase with a MsgOTRefill frame (count 0 disables
+// pooling), performs the initial bulk fill there, and announces further
+// refills in-band before an online batch whenever the pool runs low. The
+// sender side is fully adaptive — it dispatches on the frame it sees
+// (direct-IKNP U, a refill announcement, or derandomization corrections),
+// so only one party needs configuring and the two ends can never disagree
+// about the mode.
+//
+// Every pooled OT is consumed at most once: the pools are strict FIFOs
+// over an absolute sequence number, entries are zeroed as they are taken,
+// and exhaustion blocks on a refill exchange instead of ever reusing an
+// entry. With Background enabled, the receiver precomputes the next
+// refill's PRG expansion and matrix transpose on a helper goroutine while
+// the evaluator is compute-bound, so a refill exchange at the next batch
+// boundary only pays the wire round trip and the hash-decrypt step.
+package precomp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"deepsecure/internal/ot"
+	"deepsecure/internal/transport"
+)
+
+// PoolConfig sizes the receiver-driven random-OT pool.
+type PoolConfig struct {
+	// Capacity is the pool size targeted by the initial fill and by each
+	// refill. 0 disables precomputation entirely (every online batch runs
+	// direct IKNP, the pre-pool protocol).
+	Capacity int
+	// RefillLowWater triggers a refill once the unconsumed pool drops
+	// below it. 0 defaults to Capacity/4. A refill also triggers
+	// unconditionally when a batch needs more OTs than remain.
+	RefillLowWater int
+	// Background precomputes each refill's receiver-side crypto (PRG
+	// expansion + transpose) on a helper goroutine while the evaluator is
+	// busy, so the exchange at the next batch boundary is wire-bound.
+	Background bool
+}
+
+// Enabled reports whether this configuration turns pooling on.
+func (c PoolConfig) Enabled() bool { return c.Capacity > 0 }
+
+// Effective returns the configuration with defaults resolved (the
+// low-water mark an enabled pool actually refills at).
+func (c PoolConfig) Effective() PoolConfig {
+	c.RefillLowWater = c.lowWater()
+	return c
+}
+
+func (c PoolConfig) lowWater() int {
+	lw := c.Capacity / 4
+	if c.RefillLowWater > 0 {
+		lw = c.RefillLowWater
+	}
+	// A low-water mark at or above capacity would demand a refill from a
+	// full pool (a zero-count exchange the sender rejects): clamp it so
+	// "full" always satisfies the policy and misconfigured flags degrade
+	// to refill-to-capacity after every batch instead of wedging the
+	// session.
+	if c.Enabled() && lw >= c.Capacity {
+		lw = c.Capacity - 1
+	}
+	return lw
+}
+
+// maxRefill bounds a single announced refill so a corrupted or hostile
+// count fails fast instead of forcing an absurd allocation.
+const maxRefill = 1 << 26
+
+// Stats counts a pool's offline and online work. The durations separate
+// the protocol's two phases: OfflineTime covers bulk random-OT generation
+// (fills and refills, crypto that can hide in setup and idle gaps) and
+// OnlineTime the per-batch work left on the inference critical path
+// (derandomization, or full IKNP when the pool is disabled).
+type Stats struct {
+	Generated int64 // random OTs produced into the pool
+	Consumed  int64 // pooled OTs spent by derandomization
+	Direct    int64 // OTs served by direct IKNP (pool disabled)
+	Refills   int64 // fill exchanges, the initial fill included
+	Batches   int64 // online exchanges (one per input batch, either mode)
+
+	OfflineTime time.Duration
+	OnlineTime  time.Duration
+}
+
+// readCount parses a MsgOTRefill payload.
+func readCount(payload []byte) (int, error) {
+	n, read := binary.Uvarint(payload)
+	if read <= 0 || read != len(payload) {
+		return 0, fmt.Errorf("precomp: malformed refill count frame (%d bytes)", len(payload))
+	}
+	if n > maxRefill {
+		return 0, fmt.Errorf("precomp: refill count %d exceeds limit %d", n, maxRefill)
+	}
+	return int(n), nil
+}
+
+func countPayload(n int) []byte {
+	buf := make([]byte, binary.MaxVarintLen64)
+	return buf[:binary.PutUvarint(buf, uint64(n))]
+}
+
+func randBits(rng io.Reader, n int) ([]bool, error) {
+	raw := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(rng, raw); err != nil {
+		return nil, fmt.Errorf("precomp: choice randomness: %w", err)
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = raw[i/8]&(1<<uint(i%8)) != 0
+	}
+	return bits, nil
+}
+
+// ReceiverPool is the evaluator-side pool: it banks (c, r_c) tuples, owns
+// the refill policy, and drives the wire protocol (the sender reacts to
+// its announcements). Not safe for concurrent use; one pool per session.
+type ReceiverPool struct {
+	conn *transport.Conn
+	ots  *ot.ExtReceiver
+	rng  io.Reader
+	cfg  PoolConfig
+
+	// FIFO of unconsumed random OTs: entry i (absolute sequence seq+i)
+	// holds choice bit bits[head+i] and message msgs[head+i]. head only
+	// advances; consumed entries are zeroed so any accidental reuse
+	// produces garbage labels (caught by output authentication) instead
+	// of a silent two-time use.
+	bits []bool
+	msgs []ot.Msg
+	head int
+	seq  int64 // absolute sequence number of the first unconsumed entry
+
+	// pending is an in-flight background precompute for the next refill;
+	// nil when none. Resolved (and its U put on the wire) before any
+	// other use of the ExtReceiver, preserving stream/hash ordering.
+	pending chan pendingFill
+
+	st Stats
+}
+
+type pendingFill struct {
+	n       int
+	choices []bool
+	pr      *ot.PreparedReceive
+	err     error
+}
+
+// NewReceiverPool wraps a session's extension receiver. rng sources the
+// pool's random choice bits (and must match the session's randomness
+// policy for concurrency).
+func NewReceiverPool(conn *transport.Conn, ots *ot.ExtReceiver, rng io.Reader, cfg PoolConfig) *ReceiverPool {
+	return &ReceiverPool{conn: conn, ots: ots, rng: rng, cfg: cfg}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *ReceiverPool) Stats() Stats { return p.st }
+
+// Seq returns the absolute sequence number of the next pooled OT to be
+// consumed. It is strictly monotone: tests use it to prove that consumed
+// ranges never overlap (single-use safety).
+func (p *ReceiverPool) Seq() int64 { return p.seq }
+
+// Available returns the number of unconsumed pooled OTs.
+func (p *ReceiverPool) Available() int { return len(p.bits) - p.head }
+
+// Announce opens the pool protocol after the OT base phase: it tells the
+// sender whether pooling is on (count 0 = disabled) and, when on,
+// performs the initial bulk fill — the session-setup offline phase. A
+// capacity beyond the protocol's refill limit fails here, locally,
+// before any frame reaches the peer.
+func (p *ReceiverPool) Announce() error {
+	if !p.cfg.Enabled() {
+		if err := p.conn.Send(transport.MsgOTRefill, countPayload(0)); err != nil {
+			return err
+		}
+		return p.conn.Flush()
+	}
+	if p.cfg.Capacity > maxRefill {
+		return fmt.Errorf("precomp: pool capacity %d exceeds limit %d", p.cfg.Capacity, maxRefill)
+	}
+	return p.refill(p.cfg.Capacity)
+}
+
+// refill runs one announced fill exchange of n random OTs: announce,
+// send U, receive Y, bank the results. Offline-phase work.
+func (p *ReceiverPool) refill(n int) error {
+	if n <= 0 {
+		// Defense in depth: a zero-count refill would desynchronize the
+		// sender (which rejects it); the policy clamps should make this
+		// unreachable.
+		return nil
+	}
+	if n > maxRefill {
+		return fmt.Errorf("precomp: pool fill of %d OTs exceeds limit %d (lower Capacity)", n, maxRefill)
+	}
+	start := time.Now()
+	choices, err := randBits(p.rng, n)
+	if err != nil {
+		return err
+	}
+	pr := p.ots.Prepare(choices)
+	if err := p.finishRefill(n, choices, pr); err != nil {
+		return err
+	}
+	p.st.OfflineTime += time.Since(start)
+	return nil
+}
+
+// finishRefill performs the wire half of a fill whose receiver crypto is
+// already prepared.
+func (p *ReceiverPool) finishRefill(n int, choices []bool, pr *ot.PreparedReceive) error {
+	if err := p.conn.Send(transport.MsgOTRefill, countPayload(n)); err != nil {
+		return err
+	}
+	if err := p.conn.Send(transport.MsgOTExtU, pr.U); err != nil {
+		return err
+	}
+	y, err := p.conn.Recv(transport.MsgOTExtY)
+	if err != nil {
+		return err
+	}
+	msgs, err := p.ots.Finish(pr, y)
+	if err != nil {
+		return err
+	}
+	p.compact()
+	p.bits = append(p.bits, choices...)
+	p.msgs = append(p.msgs, msgs...)
+	p.st.Generated += int64(n)
+	p.st.Refills++
+	return nil
+}
+
+// compact drops the consumed prefix so the backing arrays don't grow with
+// session lifetime.
+func (p *ReceiverPool) compact() {
+	if p.head == 0 {
+		return
+	}
+	p.bits = append(p.bits[:0], p.bits[p.head:]...)
+	p.msgs = append(p.msgs[:0], p.msgs[p.head:]...)
+	p.head = 0
+}
+
+// resolvePending completes an in-flight background precompute, putting
+// its exchange on the wire now. Must run before any other ExtReceiver use
+// so stream and hash ordering match the wire.
+func (p *ReceiverPool) resolvePending() error {
+	if p.pending == nil {
+		return nil
+	}
+	start := time.Now()
+	f := <-p.pending // blocks until the precompute goroutine is done
+	p.pending = nil
+	if f.err != nil {
+		return f.err
+	}
+	err := p.finishRefill(f.n, f.choices, f.pr)
+	p.st.OfflineTime += time.Since(start)
+	return err
+}
+
+// maybeStartBackground kicks off the next refill's precompute after a
+// consume left the pool below low water.
+func (p *ReceiverPool) maybeStartBackground() {
+	if !p.cfg.Background || p.pending != nil || p.Available() >= p.cfg.lowWater() {
+		return
+	}
+	n := p.cfg.Capacity - p.Available()
+	if n <= 0 {
+		return
+	}
+	start := time.Now()
+	choices, err := randBits(p.rng, n)
+	if err != nil {
+		p.st.OfflineTime += time.Since(start)
+		// Surface the randomness failure at the next exchange point.
+		ch := make(chan pendingFill, 1)
+		ch <- pendingFill{err: err}
+		p.pending = ch
+		return
+	}
+	ch := make(chan pendingFill, 1)
+	p.pending = ch
+	go func() {
+		// Only this goroutine touches the ExtReceiver until the session
+		// goroutine blocks on the channel in resolvePending.
+		pr := p.ots.Prepare(choices)
+		ch <- pendingFill{n: n, choices: choices, pr: pr}
+	}()
+	p.st.OfflineTime += time.Since(start)
+}
+
+// Receive obliviously obtains the messages selected by choices, like
+// ot.ExtReceiver.Receive, but from the pool: pending refills resolve
+// first (blocking until the pool covers the batch — never reusing an
+// entry), then one derandomization exchange moves the labels.
+func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	if !p.cfg.Enabled() {
+		start := time.Now()
+		msgs, err := p.ots.Receive(choices)
+		p.st.OnlineTime += time.Since(start)
+		p.st.Direct += int64(m)
+		p.st.Batches++
+		return msgs, err
+	}
+	// A background precompute already advanced the PRG streams: its U
+	// must be the next U on the wire, so it resolves before any further
+	// fill.
+	if err := p.resolvePending(); err != nil {
+		return nil, err
+	}
+	if avail := p.Available(); avail < m || avail < p.cfg.lowWater() {
+		n := p.cfg.Capacity - avail
+		if n < m-avail {
+			n = m - avail
+		}
+		if err := p.refill(n); err != nil {
+			return nil, err
+		}
+	}
+
+	// Online derandomization: one message each way, XORs only.
+	start := time.Now()
+	d := make([]byte, (m+7)/8)
+	for j, b := range choices {
+		if b != p.bits[p.head+j] {
+			d[j/8] |= 1 << uint(j%8)
+		}
+	}
+	if err := p.conn.Send(transport.MsgOTDerandC, d); err != nil {
+		return nil, err
+	}
+	y, err := p.conn.Recv(transport.MsgOTDerandM)
+	if err != nil {
+		return nil, err
+	}
+	if len(y) != m*2*ot.MsgLen {
+		return nil, fmt.Errorf("precomp: derand payload is %d bytes, want %d", len(y), m*2*ot.MsgLen)
+	}
+	out := make([]ot.Msg, m)
+	for j, b := range choices {
+		off := j * 2 * ot.MsgLen
+		if b {
+			off += ot.MsgLen
+		}
+		r := &p.msgs[p.head+j]
+		for i := 0; i < ot.MsgLen; i++ {
+			out[j][i] = y[off+i] ^ r[i]
+		}
+		// Single-use: zero the entry as it is consumed.
+		*r = ot.Msg{}
+		p.bits[p.head+j] = false
+	}
+	p.head += m
+	p.seq += int64(m)
+	p.st.Consumed += int64(m)
+	p.st.Batches++
+	p.st.OnlineTime += time.Since(start)
+	p.maybeStartBackground()
+	return out, nil
+}
+
+// SenderPool is the garbler-side pool: it banks random label pairs and
+// follows the receiver's protocol — direct IKNP, a refill, or a
+// derandomized batch, whichever frame arrives. Not safe for concurrent
+// use; one pool per session.
+type SenderPool struct {
+	conn *transport.Conn
+	ots  *ot.ExtSender
+	rng  io.Reader
+
+	pairs [][2]ot.Msg
+	head  int
+	seq   int64
+
+	pooled bool // the receiver announced an enabled pool
+	st     Stats
+}
+
+// NewSenderPool wraps a session's extension sender. rng sources the
+// pool's random label pairs.
+func NewSenderPool(conn *transport.Conn, ots *ot.ExtSender, rng io.Reader) *SenderPool {
+	return &SenderPool{conn: conn, ots: ots, rng: rng}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *SenderPool) Stats() Stats { return p.st }
+
+// Seq returns the absolute sequence number of the next pooled pair to be
+// consumed (single-use safety instrumentation, like ReceiverPool.Seq).
+func (p *SenderPool) Seq() int64 { return p.seq }
+
+// Available returns the number of unconsumed pooled pairs.
+func (p *SenderPool) Available() int { return len(p.pairs) - p.head }
+
+// Pooled reports whether the receiver announced an enabled pool.
+func (p *SenderPool) Pooled() bool { return p.pooled }
+
+// HandleAnnounce consumes the receiver's pool announcement after the OT
+// base phase and, when pooling is on, participates in the initial fill.
+func (p *SenderPool) HandleAnnounce() error {
+	payload, err := p.conn.Recv(transport.MsgOTRefill)
+	if err != nil {
+		return err
+	}
+	n, err := readCount(payload)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	p.pooled = true
+	return p.fill(n)
+}
+
+// fill banks n fresh random pairs through one announced refill exchange.
+func (p *SenderPool) fill(n int) error {
+	start := time.Now()
+	// One bulk read for all 2n labels: per-label ReadFull calls would
+	// cost 2n separate rng round trips (getrandom syscalls under
+	// crypto/rand) at every session setup.
+	raw := make([]byte, n*2*ot.MsgLen)
+	if _, err := io.ReadFull(p.rng, raw); err != nil {
+		return fmt.Errorf("precomp: pair randomness: %w", err)
+	}
+	fresh := make([][2]ot.Msg, n)
+	for i := range fresh {
+		copy(fresh[i][0][:], raw[i*2*ot.MsgLen:])
+		copy(fresh[i][1][:], raw[i*2*ot.MsgLen+ot.MsgLen:])
+	}
+	u, err := p.conn.Recv(transport.MsgOTExtU)
+	if err != nil {
+		return err
+	}
+	if err := p.ots.SendWithU(fresh, u); err != nil {
+		return err
+	}
+	if p.head > 0 {
+		p.pairs = append(p.pairs[:0], p.pairs[p.head:]...)
+		p.head = 0
+	}
+	p.pairs = append(p.pairs, fresh...)
+	p.st.Generated += int64(n)
+	p.st.Refills++
+	p.st.OfflineTime += time.Since(start)
+	return nil
+}
+
+// Send obliviously transfers pairs[j][b_j] for the receiver's hidden
+// choice bits, like ot.ExtSender.Send, but following whatever protocol
+// the receiver drives: refill announcements are serviced until the
+// batch's own frame (direct-IKNP U or derandomization corrections)
+// arrives.
+func (p *SenderPool) Send(pairs [][2]ot.Msg) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	for {
+		typ, payload, err := p.conn.RecvAny(
+			transport.MsgOTExtU, transport.MsgOTDerandC, transport.MsgOTRefill)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case transport.MsgOTRefill:
+			n, err := readCount(payload)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return fmt.Errorf("precomp: zero-count refill mid-session")
+			}
+			p.pooled = true
+			if err := p.fill(n); err != nil {
+				return err
+			}
+		case transport.MsgOTExtU:
+			start := time.Now()
+			err := p.ots.SendWithU(pairs, payload)
+			p.st.OnlineTime += time.Since(start)
+			p.st.Direct += int64(m)
+			p.st.Batches++
+			return err
+		case transport.MsgOTDerandC:
+			return p.derand(pairs, payload)
+		}
+	}
+}
+
+// derand answers one online batch: the receiver's corrections d select
+// which pooled pair element masks which real label.
+func (p *SenderPool) derand(pairs [][2]ot.Msg, d []byte) error {
+	start := time.Now()
+	m := len(pairs)
+	if len(d) != (m+7)/8 {
+		return fmt.Errorf("precomp: correction payload is %d bytes, want %d for %d OTs", len(d), (m+7)/8, m)
+	}
+	if p.Available() < m {
+		return fmt.Errorf("precomp: receiver derandomizes %d OTs but only %d are pooled", m, p.Available())
+	}
+	out := make([]byte, 0, m*2*ot.MsgLen)
+	for j := range pairs {
+		dj := 0
+		if d[j/8]&(1<<uint(j%8)) != 0 {
+			dj = 1
+		}
+		r := &p.pairs[p.head+j]
+		var y0, y1 ot.Msg
+		for i := 0; i < ot.MsgLen; i++ {
+			y0[i] = pairs[j][0][i] ^ r[dj][i]
+			y1[i] = pairs[j][1][i] ^ r[1-dj][i]
+		}
+		out = append(out, y0[:]...)
+		out = append(out, y1[:]...)
+		// Single-use: zero the pair as it is consumed.
+		*r = [2]ot.Msg{}
+	}
+	p.head += m
+	p.seq += int64(m)
+	p.st.Consumed += int64(m)
+	p.st.Batches++
+	if err := p.conn.Send(transport.MsgOTDerandM, out); err != nil {
+		return err
+	}
+	err := p.conn.Flush()
+	p.st.OnlineTime += time.Since(start)
+	return err
+}

@@ -21,6 +21,7 @@ import (
 	"deepsecure/internal/core"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
 
@@ -32,6 +33,13 @@ type Stats struct {
 	Errors         int64 // sessions that ended with a protocol error
 	BytesSent      int64 // protocol bytes sent across all sessions
 	BytesReceived  int64 // protocol bytes received across all sessions
+
+	// Offline/online OT accounting across all sessions (see
+	// core.Stats): pooled random OTs generated, pooled OTs consumed by
+	// online derandomization, and refill exchanges performed.
+	OTsPooled   int64
+	OTsConsumed int64
+	OTRefills   int64
 }
 
 // Server serves secure-inference sessions over TCP (or any net.Listener).
@@ -51,12 +59,15 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   bool
 
-	sessions   atomic.Int64
-	active     atomic.Int64
-	inferences atomic.Int64
-	errors     atomic.Int64
-	bytesSent  atomic.Int64
-	bytesRecv  atomic.Int64
+	sessions    atomic.Int64
+	active      atomic.Int64
+	inferences  atomic.Int64
+	errors      atomic.Int64
+	bytesSent   atomic.Int64
+	bytesRecv   atomic.Int64
+	otsPooled   atomic.Int64
+	otsConsumed atomic.Int64
+	otRefills   atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -66,6 +77,16 @@ type Option func(*Server)
 // count, table chunk size) every session of this server evaluates with.
 func WithEngine(cfg core.EngineConfig) Option {
 	return func(s *Server) { s.core.Engine = cfg }
+}
+
+// WithOTPool sizes the offline random-OT pool every session of this
+// server precomputes at setup and refills in idle gaps (Beaver-style OT
+// derandomization): per-batch weight transfers then cost one
+// correction/masked-label exchange with no cryptography on the critical
+// path. The zero config disables pooling and every input batch runs IKNP
+// online. The server owns the policy; clients follow the announcement.
+func WithOTPool(cfg precomp.PoolConfig) Option {
+	return func(s *Server) { s.core.OTPool = cfg }
 }
 
 // WithIdleTimeout bounds how long a session connection may sit idle.
@@ -214,6 +235,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.inferences.Add(st.Inferences)
 		s.bytesSent.Add(st.BytesSent)
 		s.bytesRecv.Add(st.BytesReceived)
+		s.otsPooled.Add(st.OTsPooled)
+		s.otsConsumed.Add(st.OTsConsumed)
+		s.otRefills.Add(st.OTRefills)
 	}
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		s.errors.Add(1)
@@ -221,10 +245,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.RemoteAddr(), sessionInferences(st), err)
 		return
 	}
-	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v",
+	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v (OT offline %v / online %v, %d pooled, %d derandomized, %d refill(s))",
 		conn.RemoteAddr(), sessionInferences(st),
 		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond),
+		st.OTOfflineTime.Round(time.Millisecond), st.OTOnlineTime.Round(time.Millisecond),
+		st.OTsPooled, st.OTsConsumed, st.OTRefills)
 }
 
 func sessionInferences(st *core.Stats) int64 {
@@ -249,6 +275,9 @@ func (s *Server) Stats() Stats {
 		Errors:         s.errors.Load(),
 		BytesSent:      s.bytesSent.Load(),
 		BytesReceived:  s.bytesRecv.Load(),
+		OTsPooled:      s.otsPooled.Load(),
+		OTsConsumed:    s.otsConsumed.Load(),
+		OTRefills:      s.otRefills.Load(),
 	}
 }
 

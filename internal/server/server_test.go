@@ -12,6 +12,7 @@ import (
 	"deepsecure/internal/core"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
 
@@ -402,5 +403,57 @@ func TestWithEngineOption(t *testing.T) {
 	}
 	if err := <-done; err != ErrServerClosed {
 		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestWithOTPoolOption pins that the OT-pool policy reaches the session
+// layer over real TCP: an unconfigured client follows the server's
+// announcement, predictions stay correct, and the pooled-OT counters
+// surface in the server's lifetime stats.
+func TestWithOTPoolOption(t *testing.T) {
+	model := testModel(t)
+	srv, err := New(model, fixed.Default,
+		WithOTPool(precomp.PoolConfig{Capacity: 2048, RefillLowWater: 256, Background: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cli := &core.Client{Rng: rand.New(rand.NewSource(33))}
+	rng := rand.New(rand.NewSource(34))
+	xs := [][]float64{sample(rng, 6), sample(rng, 6)}
+	labels, st, err := cli.InferMany(transport.New(nc), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if want := model.PredictFixed(fixed.Default, x); labels[i] != want {
+			t.Fatalf("sample %d: secure label %d, plaintext %d", i, labels[i], want)
+		}
+	}
+	if st.OTsConsumed == 0 || st.OTsDirect != 0 {
+		t.Errorf("client session did not use the announced pool: %+v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if got := srv.Stats(); got.OTsPooled == 0 || got.OTsConsumed == 0 || got.OTRefills == 0 {
+		t.Errorf("server stats missing pooled-OT counters: %+v", got)
 	}
 }

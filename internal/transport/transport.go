@@ -35,19 +35,34 @@ const (
 	// phase, and compiled netlist across many inferences.
 	MsgNextInfer
 	MsgEndSession
+	// OT precomputation (offline/online split): MsgOTRefill announces a
+	// bulk random-OT generation of n extended OTs (uvarint payload; n=0
+	// in the session-setup announcement means the pool is disabled),
+	// MsgOTDerandC carries the receiver's packed choice-bit corrections
+	// for one online batch, and MsgOTDerandM the sender's two masked
+	// labels per OT in response.
+	MsgOTRefill
+	MsgOTDerandC
+	MsgOTDerandM
 )
+
+// msgNames is the static name table behind MsgType.String — built once at
+// package init instead of per call (String sits on every protocol-desync
+// error path and in hot logging).
+var msgNames = map[MsgType]string{
+	MsgHello: "hello", MsgConstLabels: "const-labels",
+	MsgInputLabels: "input-labels", MsgTables: "tables",
+	MsgOTBase: "ot-base", MsgOTExtU: "ot-ext-u", MsgOTExtY: "ot-ext-y",
+	MsgOutputLabels: "output-labels", MsgResult: "result",
+	MsgShare: "share", MsgArch: "arch",
+	MsgNextInfer: "next-infer", MsgEndSession: "end-session",
+	MsgOTRefill: "ot-refill", MsgOTDerandC: "ot-derand-c",
+	MsgOTDerandM: "ot-derand-m",
+}
 
 // String names the message type.
 func (m MsgType) String() string {
-	names := map[MsgType]string{
-		MsgHello: "hello", MsgConstLabels: "const-labels",
-		MsgInputLabels: "input-labels", MsgTables: "tables",
-		MsgOTBase: "ot-base", MsgOTExtU: "ot-ext-u", MsgOTExtY: "ot-ext-y",
-		MsgOutputLabels: "output-labels", MsgResult: "result",
-		MsgShare: "share", MsgArch: "arch",
-		MsgNextInfer: "next-infer", MsgEndSession: "end-session",
-	}
-	if s, ok := names[m]; ok {
+	if s, ok := msgNames[m]; ok {
 		return s
 	}
 	return fmt.Sprintf("msg(%d)", uint8(m))

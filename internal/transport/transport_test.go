@@ -252,6 +252,23 @@ func TestMsgTypeString(t *testing.T) {
 	if MsgType(200).String() == "" {
 		t.Error("unknown type should render")
 	}
+	// Every defined frame type must have a real name: a "msg(n)"
+	// fallback here means a new constant was added without extending the
+	// package-level name table.
+	for m := MsgHello; m <= MsgOTDerandM; m++ {
+		if s := m.String(); strings.HasPrefix(s, "msg(") {
+			t.Errorf("frame type %d has no name", uint8(m))
+		}
+	}
+	for m, want := range map[MsgType]string{
+		MsgOTRefill:  "ot-refill",
+		MsgOTDerandC: "ot-derand-c",
+		MsgOTDerandM: "ot-derand-m",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("MsgType(%d).String() = %q, want %q", uint8(m), got, want)
+		}
+	}
 }
 
 type readWriter struct {
