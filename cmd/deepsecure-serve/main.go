@@ -57,6 +57,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	workers := flag.Int("workers", 0, "engine workers per session (0 = GOMAXPROCS, 1 = sequential)")
 	chunkKB := flag.Int("chunk-kb", 0, "garbled-table streaming chunk in KiB (0 = default 1024)")
+	pipeline := flag.Int("pipeline", 0, "in-flight inferences per session (0 = default 2, 1 = serial)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "per-session idle read deadline (0 disables)")
 	otPool := flag.Int("ot-pool", 1<<16, "random-OT pool capacity per session (0 = no precomputation, IKNP online)")
 	otLowWater := flag.Int("ot-low-water", 0, "refill the OT pool when fewer remain (0 = capacity/4)")
@@ -78,7 +79,8 @@ func main() {
 	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
 		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
 		deepsecure.WithIdleTimeout(*idle),
-		deepsecure.WithOTPool(poolCfg))
+		deepsecure.WithOTPool(poolCfg),
+		deepsecure.WithPipeline(*pipeline))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,15 +94,21 @@ func main() {
 	} else {
 		log.Printf("OT precomputation off: weight transfers run IKNP online")
 	}
+	if depth := (deepsecure.EngineConfig{Pipeline: *pipeline}).PipelineDepth(); depth == 1 {
+		log.Printf("cross-inference pipelining off: inferences on a session run serially")
+	} else {
+		log.Printf("cross-inference pipelining on: up to %d inference(s) in flight per session", depth)
+	}
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s)",
+				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s), pipeline peak %d in flight / %v overlapped",
 					st.Sessions, st.ActiveSessions, st.Inferences, st.Errors,
 					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
-					st.OTsPooled, st.OTsConsumed, st.OTRefills)
+					st.OTsPooled, st.OTsConsumed, st.OTRefills,
+					st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
 			}
 		}()
 	}
@@ -126,6 +134,7 @@ func main() {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s)",
-		st.Sessions, st.Inferences, st.OTsPooled, st.OTsConsumed, st.OTRefills)
+	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s); pipeline peak %d in flight, %v overlapped",
+		st.Sessions, st.Inferences, st.OTsPooled, st.OTsConsumed, st.OTRefills,
+		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
 }

@@ -69,8 +69,14 @@ type (
 	Client = core.Client
 	// Session is an open multi-inference protocol session (client side):
 	// one handshake, one OT base phase, one netlist compilation, many
-	// inferences.
+	// inferences — pipelined across the in-flight window when the
+	// session uses Session.InferAsync (or InferMany, which does).
 	Session = core.Session
+	// PendingInference is an inference whose garbled stream is on the
+	// wire but whose result may not have returned yet; Wait blocks until
+	// it has. Returned by Session.InferAsync, the cross-inference
+	// pipelining primitive.
+	PendingInference = core.PendingInference
 	// InferenceServer is a concurrent network service answering secure
 	// inference sessions with one shared compiled netlist.
 	InferenceServer = server.Server
@@ -78,9 +84,10 @@ type (
 	ServerStats = server.Stats
 	// EngineConfig tunes the level-scheduled execution engine: Workers
 	// sets the garble/evaluate pool size (0 derives it from GOMAXPROCS,
-	// 1 is the sequential mode) and ChunkBytes the garbled-table
-	// streaming chunk. Set it on a Client, or pass it to NewServer via
-	// WithEngine.
+	// 1 is the sequential mode), ChunkBytes the garbled-table streaming
+	// chunk, and Pipeline the cross-inference in-flight window (0
+	// defaults to DefaultPipelineDepth, 1 is serial). Set it on a
+	// Client, or pass it to NewServer via WithEngine.
 	EngineConfig = core.EngineConfig
 	// PoolConfig sizes the offline random-OT pool (Beaver-style OT
 	// precomputation): Capacity random OTs are bulk-generated at session
@@ -111,7 +118,17 @@ var (
 	// precomputes at setup and refills in idle gaps, leaving one
 	// derandomization exchange per input batch on the critical path.
 	WithOTPool = server.WithOTPool
+	// WithPipeline sets the cross-inference pipelining depth the server
+	// announces and enforces: up to depth inferences of one session in
+	// flight at once, later ones garbling while earlier ones finish
+	// evaluating and round-trip their output labels (1 = serial, 0 =
+	// DefaultPipelineDepth).
+	WithPipeline = server.WithPipeline
 )
+
+// DefaultPipelineDepth is the in-flight window used when
+// EngineConfig.Pipeline is zero.
+const DefaultPipelineDepth = core.DefaultPipelineDepth
 
 // DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.
 var DefaultFormat = fixed.Default
@@ -170,7 +187,11 @@ func Infer(conn *Conn, x []float64) (int, *InferStats, error) {
 
 // InferMany classifies every sample over ONE session on conn: the
 // handshake, OT base phase, and netlist compilation are paid once and
-// amortized over all inferences. Returned stats are session totals.
+// amortized over all inferences, and consecutive inferences pipeline
+// across the session's in-flight window (inference k+1 garbles while
+// inference k's output round-trip and evaluation tail are pending),
+// with results streaming in as they complete. Returned stats are
+// session totals.
 func InferMany(conn *Conn, xs [][]float64) ([]int, *InferStats, error) {
 	c := &core.Client{}
 	return c.InferMany(conn, xs)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
@@ -47,7 +48,26 @@ type EngineConfig struct {
 	// parties may use different values; the evaluator reassembles frames
 	// regardless of their boundaries.
 	ChunkBytes int
+	// Pipeline bounds how many inferences may be in flight on one
+	// session at once (cross-inference pipelining): with depth d > 1 the
+	// client garbles inference k+1 while inference k's output round-trip
+	// and evaluation tail are still pending, and the server evaluates up
+	// to d inferences concurrently. 0 defaults to DefaultPipelineDepth;
+	// 1 disables overlap (inference framing stays serial, the v3
+	// behavior modulo tags). On a server this is also the announced
+	// window clients are validated against; a client's effective window
+	// is min(its own depth, the server's announcement).
+	Pipeline int
 }
+
+// DefaultPipelineDepth is the in-flight window applied when
+// EngineConfig.Pipeline is zero: one inference garbling ahead of the one
+// in its output round-trip.
+const DefaultPipelineDepth = 2
+
+// maxPipelineDepth caps the window so a misconfigured or hostile peer
+// cannot demand unbounded per-inference server state.
+const maxPipelineDepth = 32
 
 func (c EngineConfig) workers() int {
 	if c.Workers > 0 {
@@ -55,6 +75,25 @@ func (c EngineConfig) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+func (c EngineConfig) pipeline() int {
+	d := c.Pipeline
+	if d == 0 {
+		d = DefaultPipelineDepth
+	}
+	if d < 1 {
+		d = 1
+	}
+	if d > maxPipelineDepth {
+		d = maxPipelineDepth
+	}
+	return d
+}
+
+// PipelineDepth returns the effective in-flight window this
+// configuration resolves to (defaults applied, clamped to [1, 32]) —
+// what a server announces and enforces.
+func (c EngineConfig) PipelineDepth() int { return c.pipeline() }
 
 func (c EngineConfig) chunkBytes() int {
 	if c.ChunkBytes > 0 {
@@ -73,7 +112,7 @@ type tableWriter struct {
 	free chan []byte
 }
 
-func startTableWriter(conn *transport.Conn, free chan []byte) *tableWriter {
+func startTableWriter(conn transport.FrameConn, free chan []byte) *tableWriter {
 	w := &tableWriter{
 		ch:   make(chan []byte, 2),
 		done: make(chan error, 1),
@@ -109,7 +148,7 @@ type garbleEngine struct {
 	sched *circuit.Schedule
 	g     *gc.Garbler
 	pool  *gc.Pool
-	conn  *transport.Conn
+	conn  transport.FrameConn
 	ots   *precomp.SenderPool
 	cfg   EngineConfig
 
@@ -279,12 +318,28 @@ type evalEngine struct {
 	sched *circuit.Schedule
 	e     *gc.Evaluator
 	pool  *gc.Pool
-	conn  *transport.Conn
+	conn  transport.FrameConn
 	ots   *precomp.ReceiverPool
 	cfg   EngineConfig
 
 	inputBits []bool
 	cursor    int
+
+	// seq, when set, is the pipelined session's ordered-admission gate
+	// to the shared OT pool: this inference Acquires seqTurn at its
+	// first evaluator-input step, runs all evalSteps batches while
+	// holding it, and Releases after the last — the deterministic
+	// consume order (all of inference k before any of k+1) the garbler
+	// derives from its serial garble order.
+	seq       *precomp.Sequencer
+	seqTurn   int64
+	evalSteps int
+	stepsDone int
+
+	// progress, when set, is bumped once per evaluated level so
+	// idle-timeout transport wrappers can tell "quiet because the
+	// evaluation tail is still computing" from a stalled peer.
+	progress *atomic.Int64
 
 	pending   []byte
 	outLabels []gc.Label
@@ -292,6 +347,14 @@ type evalEngine struct {
 
 func (en *evalEngine) run() error {
 	en.e.Grow(en.sched.NumWires)
+	if en.seq != nil && en.evalSteps == 0 {
+		// No OT work this inference: pass the turn through so later
+		// inferences are not gated forever.
+		if err := en.seq.Acquire(en.seqTurn); err != nil {
+			return err
+		}
+		en.seq.Release(en.seqTurn)
+	}
 	for si := range en.sched.Steps {
 		st := &en.sched.Steps[si]
 		var err error
@@ -334,7 +397,23 @@ func (en *evalEngine) doInputs(st *circuit.Step) error {
 		choices[i] = en.inputBits[en.cursor]
 		en.cursor++
 	}
+	if en.seq != nil && en.stepsDone == 0 {
+		if err := en.seq.Acquire(en.seqTurn); err != nil {
+			return err
+		}
+	}
 	msgs, err := en.ots.Receive(choices)
+	if en.seq != nil {
+		en.stepsDone++
+		// Only pass the turn on after a clean final batch: a failed
+		// exchange leaves the pool desynchronized from the garbler, and
+		// handing it to the next inference would just manufacture a
+		// second, misleading desync error. Teardown's Abort unblocks any
+		// waiters instead.
+		if err == nil && en.stepsDone == en.evalSteps {
+			en.seq.Release(en.seqTurn)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -432,6 +511,9 @@ func (en *evalEngine) doLevels(st *circuit.Step) error {
 		}
 		if err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, pending[off:off+need], en.pool); err != nil {
 			break
+		}
+		if en.progress != nil {
+			en.progress.Add(1)
 		}
 		off += need
 		for _, w := range lv.Drops {

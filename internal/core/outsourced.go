@@ -93,8 +93,8 @@ func (c *Client) InferOutsourced(proxyConn, serverConn *transport.Conn, x []floa
 		}
 	}
 	st := &Stats{
-		BytesSent:     proxyConn.BytesSent + serverConn.BytesSent,
-		BytesReceived: proxyConn.BytesReceived + serverConn.BytesReceived,
+		BytesSent:     proxyConn.BytesSent.Load() + serverConn.BytesSent.Load(),
+		BytesReceived: proxyConn.BytesReceived.Load() + serverConn.BytesReceived.Load(),
 		Duration:      time.Since(start),
 	}
 	return label, st, nil

@@ -21,13 +21,13 @@ package core
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
-	"deepsecure/internal/circuit"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/netgen"
@@ -37,12 +37,18 @@ import (
 	"deepsecure/internal/transport"
 )
 
-// protocolHello identifies the session protocol. Version 3 adds the
-// offline OT-precomputation phase to version 2's multi-inference framing:
-// after the OT-extension base phase the server announces its random-OT
-// pool (count 0 = disabled) and, when pooling is on, the parties bulk-fill
-// it at session setup and derandomize per input batch thereafter.
-const protocolHello = "deepsecure/3"
+// protocolHello identifies the session protocol. Version 4 adds
+// cross-inference pipelining to version 3's offline OT precomputation:
+// the server announces an in-flight window after the architecture
+// (MsgPipeline), each inference runs as a tagged sub-stream
+// (MsgInferBegin + MsgInfer* frames carrying a uvarint inference id),
+// and with a window deeper than 1 the client garbles inference k+1 while
+// inference k's output round-trip is still pending. OT frames stay
+// untagged — the pool's strict FIFO order already serializes them into
+// the inference-id order both parties derive independently. At depth 1
+// the frame contents are byte-identical to the serial v3 protocol modulo
+// the tags (pinned by TestPipelineDepth1Conformance).
+const protocolHello = "deepsecure/4"
 
 // Stats summarizes one secure inference — or, for session-level calls, a
 // whole session of them.
@@ -66,6 +72,13 @@ type Stats struct {
 	OTsDirect     int64 // OTs served by direct (unpooled) IKNP
 	OTRefills     int64 // pool fill exchanges, the initial fill included
 	OTBatches     int64 // online OT exchanges (one per input batch)
+
+	// Cross-inference pipelining (server-side session measurement): the
+	// peak number of concurrently in-flight inferences and the wall time
+	// during which at least two overlapped. MaxInFlight 1 on a pipelined
+	// session means the client never ran ahead (or depth is 1).
+	MaxInFlight int64
+	OverlapTime time.Duration
 }
 
 // addOT folds a pool-stats delta into the Stats.
@@ -155,14 +168,19 @@ func (s *Server) Serve(conn *transport.Conn) error {
 // the session (or disconnects at an inference boundary, which is treated
 // as an implicit close). The handshake, OT-extension base phase, and
 // netlist compilation happen once; each inference replays the compiled
-// tape with fresh evaluation state. Returns per-session statistics.
+// tape with fresh evaluation state. Inferences arrive as tagged v4
+// sub-streams and up to EngineConfig.Pipeline of them are evaluated
+// concurrently, overlapping one inference's evaluation tail and output
+// round-trip with the next one's garbled stream. Returns per-session
+// statistics. On a torn-down session the demux reader goroutine may
+// survive until the caller closes the underlying connection.
 func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	start := time.Now()
-	sent0, recv0 := conn.BytesSent, conn.BytesReceived
+	sent0, recv0 := conn.BytesSent.Load(), conn.BytesReceived.Load()
 	st := &Stats{}
 	finish := func() *Stats {
-		st.BytesSent = conn.BytesSent - sent0
-		st.BytesReceived = conn.BytesReceived - recv0
+		st.BytesSent = conn.BytesSent.Load() - sent0
+		st.BytesReceived = conn.BytesReceived.Load() - recv0
 		st.Duration = time.Since(start)
 		return st
 	}
@@ -181,17 +199,27 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	if err := conn.Send(transport.MsgArch, spec); err != nil {
 		return finish(), err
 	}
+	// In-flight window announcement: the server owns the depth policy,
+	// clients clamp their own pipelining to it.
+	if err := conn.Send(transport.MsgPipeline, transport.AppendTag(nil, uint64(s.Engine.pipeline()))); err != nil {
+		return finish(), err
+	}
 	prog, err := s.Program()
 	if err != nil {
 		return finish(), err
 	}
 	weightBits := nn.WeightBits(s.Net, s.Fmt)
 
+	// Everything below speaks through the mux-aware connection: a
+	// passthrough during setup, and the contexts' serialized write /
+	// routed OT-receive face once the session mux starts.
+	mc := newMuxConn(conn)
+
 	// OT-extension base phase: once per session, amortized over every
 	// weight transfer of every inference. Base-phase and pool-fill time
 	// are the protocol's offline OT cost.
 	baseStart := time.Now()
-	ots, err := ot.NewExtReceiver(conn, rng)
+	ots, err := ot.NewExtReceiver(mc, rng)
 	if err != nil {
 		return finish(), err
 	}
@@ -199,73 +227,16 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 
 	// Random-OT pool: announce the server's policy and, when enabled,
 	// bulk-fill at setup so per-inference batches only derandomize.
-	otp := precomp.NewReceiverPool(conn, ots, rng, s.OTPool)
+	otp := precomp.NewReceiverPool(mc, ots, rng, s.OTPool)
 	otBase := otp.Stats()
 	defer func() { st.addOT(otDelta(otp.Stats(), otBase)) }()
 	if err := otp.Announce(); err != nil {
 		return finish(), err
 	}
 
-	// One engine (worker pool, table ring buffers) serves the whole
-	// session; each inference resets its per-execution state.
-	en := &evalEngine{
-		sched:     prog.Schedule,
-		pool:      gc.NewPool(s.Engine.workers()),
-		conn:      conn,
-		ots:       otp,
-		cfg:       s.Engine,
-		inputBits: weightBits,
-	}
-	for {
-		typ, _, err := conn.RecvAny(transport.MsgNextInfer, transport.MsgEndSession)
-		if err != nil {
-			// A disconnect at the inference boundary is a valid way to
-			// end a session; mid-inference it would surface below.
-			if errors.Is(err, io.EOF) {
-				return finish(), nil
-			}
-			return finish(), err
-		}
-		if typ == transport.MsgEndSession {
-			return finish(), nil
-		}
-		if err := s.serveOne(conn, en); err != nil {
-			return finish(), err
-		}
-		st.Inferences++
-	}
-}
-
-// serveOne evaluates one garbled execution of the compiled schedule.
-func (s *Server) serveOne(conn *transport.Conn, en *evalEngine) error {
-	// Fresh constant labels open each garbled execution.
-	constLabels, err := conn.Recv(transport.MsgConstLabels)
-	if err != nil {
-		return err
-	}
-	if len(constLabels) != 2*gc.LabelSize {
-		return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
-	}
-	e := gc.NewEvaluator()
-	var lf, lt gc.Label
-	copy(lf[:], constLabels[:gc.LabelSize])
-	copy(lt[:], constLabels[gc.LabelSize:])
-	e.SetLabel(circuit.WFalse, lf)
-	e.SetLabel(circuit.WTrue, lt)
-	en.e = e
-	en.cursor = 0
-	en.outLabels = en.outLabels[:0]
-	if err := en.run(); err != nil {
-		return err
-	}
-	payload := make([]byte, 0, len(en.outLabels)*gc.LabelSize)
-	for _, l := range en.outLabels {
-		payload = append(payload, l[:]...)
-	}
-	if err := conn.Send(transport.MsgOutputLabels, payload); err != nil {
-		return err
-	}
-	return conn.Flush()
+	m := newSessionMux(s, conn, mc, otp, prog.Schedule, weightBits)
+	err = m.run(st)
+	return finish(), err
 }
 
 // Client runs secure inferences against a server. A Client caches the
@@ -315,7 +286,7 @@ func (c *Client) program(specData []byte, net *nn.Network, f fixed.Format) (*net
 
 // Session is an open multi-inference protocol session from the client
 // side. It is not safe for concurrent use; open one session per
-// goroutine.
+// goroutine (pipelining overlaps inferences on the wire, not callers).
 type Session struct {
 	conn  *transport.Conn
 	rng   io.Reader
@@ -339,6 +310,15 @@ type Session struct {
 	closed     bool
 	failed     bool // a mid-protocol error desynchronized the stream
 
+	// Cross-inference pipelining: window is the negotiated in-flight cap
+	// (min of this client's EngineConfig.Pipeline and the server's
+	// MsgPipeline announcement), nextID the sequential id of the next
+	// inference sub-stream, and inflight the garbled-but-unresolved
+	// inferences, oldest first.
+	window   int
+	nextID   uint64
+	inflight []*PendingInference
+
 	// The session's garbling engine state, reused across inferences: the
 	// worker pool (with its per-worker hashers), the recycled table-chunk
 	// ring, and the label payload buffer.
@@ -353,11 +333,83 @@ type Session struct {
 	lastOutZero []gc.Label
 }
 
+// clientOTConn is the client session's OT-protocol face: a passthrough
+// to the connection that additionally resolves output-label frames of
+// earlier in-flight inferences arriving interleaved with the current
+// inference's OT exchange (the server answers inference k's outputs
+// while already serving inference k+1's input batches).
+type clientOTConn struct{ s *Session }
+
+func (v clientOTConn) Send(t transport.MsgType, payload []byte) error {
+	return v.s.conn.Send(t, payload)
+}
+
+func (v clientOTConn) Flush() error { return v.s.conn.Flush() }
+
+func (v clientOTConn) Recv(want transport.MsgType) ([]byte, error) {
+	_, p, err := v.RecvAny(want)
+	return p, err
+}
+
+func (v clientOTConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []byte, error) {
+	// Stack-allocated want set for the per-batch hot path (the pools ask
+	// for at most three types).
+	var buf [4]transport.MsgType
+	wants := append(buf[:0], want...)
+	wants = append(wants, transport.MsgInferOutputs)
+	for {
+		typ, p, err := v.s.conn.RecvAny(wants...)
+		if err != nil {
+			return 0, nil, err
+		}
+		if typ == transport.MsgInferOutputs {
+			if err := v.s.resolveOutput(p); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		return typ, p, nil
+	}
+}
+
+// garbleConn is the garble engine's view for one inference sub-stream:
+// per-inference frames go out tagged with the inference id, OT frames
+// pass through untagged, and receives route through the output-resolving
+// OT face.
+type garbleConn struct {
+	s  *Session
+	id uint64
+}
+
+func (v garbleConn) Send(t transport.MsgType, payload []byte) error {
+	switch t {
+	case transport.MsgConstLabels:
+		return v.s.conn.SendTagged(transport.MsgInferConst, v.id, payload)
+	case transport.MsgInputLabels:
+		return v.s.conn.SendTagged(transport.MsgInferInputs, v.id, payload)
+	case transport.MsgTables:
+		return v.s.conn.SendTagged(transport.MsgInferTables, v.id, payload)
+	default:
+		return v.s.conn.Send(t, payload)
+	}
+}
+
+func (v garbleConn) Flush() error { return v.s.conn.Flush() }
+
+func (v garbleConn) Recv(want transport.MsgType) ([]byte, error) {
+	return clientOTConn{v.s}.Recv(want)
+}
+
+func (v garbleConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []byte, error) {
+	return clientOTConn{v.s}.RecvAny(want...)
+}
+
 // NewSession opens a session: protocol hello, architecture download,
-// netlist compilation (cached per spec), and the OT-extension base phase.
+// pipeline-window negotiation, netlist compilation (cached per spec),
+// and the OT-extension base phase.
 func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	start := time.Now()
-	sent0, recv0 := conn.BytesSent, conn.BytesReceived
+	sent0, recv0 := conn.BytesSent.Load(), conn.BytesReceived.Load()
 	rng := rngOrDefault(c.Rng)
 	if err := conn.Send(transport.MsgHello, []byte(protocolHello)); err != nil {
 		return nil, err
@@ -374,60 +426,192 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	plPayload, err := conn.Recv(transport.MsgPipeline)
+	if err != nil {
+		return nil, err
+	}
+	announced, n := binary.Uvarint(plPayload)
+	if n <= 0 || n != len(plPayload) || announced < 1 {
+		return nil, fmt.Errorf("core: malformed pipeline announcement (%d bytes)", len(plPayload))
+	}
 	prog, err := c.program(specData, net, spec.Format)
 	if err != nil {
 		return nil, err
 	}
-	baseStart := time.Now()
-	ots, err := ot.NewExtSender(conn, rng)
-	if err != nil {
-		return nil, err
+	window := c.Engine.pipeline()
+	if announced < uint64(window) {
+		window = int(announced)
 	}
-	baseTime := time.Since(baseStart)
-	// Pool announcement: the server says whether this session
-	// precomputes OTs; with an enabled pool the initial bulk fill happens
-	// here, as part of session setup.
-	otp := precomp.NewSenderPool(conn, ots, rng)
-	if err := otp.HandleAnnounce(); err != nil {
-		return nil, err
-	}
-	return &Session{
+	s := &Session{
 		conn:     conn,
 		rng:      rng,
 		f:        spec.Format,
 		prog:     prog,
-		ots:      otp,
-		baseTime: baseTime,
 		start:    start,
 		sent0:    sent0,
 		recv0:    recv0,
 		inputLen: net.In.Len(),
+		window:   window,
+		nextID:   1,
 		cfg:      c.Engine,
 		pool:     gc.NewPool(c.Engine.workers()),
 		freeBufs: make(chan []byte, 3),
-	}, nil
+	}
+	baseStart := time.Now()
+	ots, err := ot.NewExtSender(clientOTConn{s}, rng)
+	if err != nil {
+		return nil, err
+	}
+	s.baseTime = time.Since(baseStart)
+	// Pool announcement: the server says whether this session
+	// precomputes OTs; with an enabled pool the initial bulk fill happens
+	// here, as part of session setup.
+	otp := precomp.NewSenderPool(clientOTConn{s}, ots, rng)
+	if err := otp.HandleAnnounce(); err != nil {
+		return nil, err
+	}
+	s.ots = otp
+	return s, nil
 }
 
 // InputLen returns the model's expected feature count (from the public
 // architecture).
 func (s *Session) InputLen() int { return s.inputLen }
 
-// Infer classifies one sample on the open session and returns the
-// inference label, which only the client learns, plus statistics for this
-// inference alone (byte counts are deltas, not session totals).
-func (s *Session) Infer(x []float64) (int, *Stats, error) {
+// Window returns the session's negotiated in-flight inference cap.
+func (s *Session) Window() int { return s.window }
+
+// PendingInference is an inference whose garbled stream is on the wire
+// but whose output labels may not have returned yet. Wait blocks until
+// the result is in, driving the session's receive side as needed.
+type PendingInference struct {
+	s       *Session
+	id      uint64
+	g       *gc.Garbler
+	outZero []gc.Label
+	start   time.Time
+	sent0   int64
+	recv0   int64
+	ot0     precomp.Stats
+
+	done  bool
+	label int
+	st    *Stats
+}
+
+// Wait returns the inference label (which only the client learns) and
+// this inference's statistics. On a pipelined session the byte and OT
+// deltas span the inference's in-flight window, so concurrent
+// inferences' traffic overlaps in them; Duration likewise includes the
+// overlapped wall time.
+func (p *PendingInference) Wait() (int, *Stats, error) {
+	for !p.done {
+		if p.s.failed {
+			return 0, nil, errors.New("core: session is broken by an earlier protocol error")
+		}
+		if err := p.s.resolveNext(); err != nil {
+			p.s.failed = true
+			return 0, nil, err
+		}
+	}
+	return p.label, p.st, nil
+}
+
+// Done reports whether the result is already in (Wait will not block).
+func (p *PendingInference) Done() bool { return p.done }
+
+// resolveNext reads the next output-label frame and resolves the
+// in-flight inference it belongs to.
+func (s *Session) resolveNext() error {
+	payload, err := s.conn.Recv(transport.MsgInferOutputs)
+	if err != nil {
+		return err
+	}
+	return s.resolveOutput(payload)
+}
+
+// resolveOutput authenticates one output-label frame against its
+// in-flight inference and settles the result (§2.2.2 step iv): a
+// tampered or corrupted evaluation cannot yield a silently wrong label,
+// it fails here.
+func (s *Session) resolveOutput(payload []byte) error {
+	id, content, err := transport.SplitTag(payload)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	for i, q := range s.inflight {
+		if q.id == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: output frame for unknown inference %d", id)
+	}
+	p := s.inflight[idx]
+	if len(content) != len(p.outZero)*gc.LabelSize {
+		return fmt.Errorf("core: output-label frame has %d bytes, want %d",
+			len(content), len(p.outZero)*gc.LabelSize)
+	}
+	label := 0
+	for i := range p.outZero {
+		var l gc.Label
+		copy(l[:], content[i*gc.LabelSize:])
+		switch l {
+		case p.outZero[i]:
+			// bit 0
+		case p.outZero[i].XOR(p.g.R):
+			label |= 1 << uint(i)
+		default:
+			return fmt.Errorf("core: output label %d of inference %d failed authentication", i, id)
+		}
+	}
+	s.inflight = append(s.inflight[:idx], s.inflight[idx+1:]...)
+	p.label = label
+	p.st = &Stats{
+		BytesSent:     s.conn.BytesSent.Load() - p.sent0,
+		BytesReceived: s.conn.BytesReceived.Load() - p.recv0,
+		Duration:      time.Since(p.start),
+		ANDGates:      p.g.ANDGates,
+		FreeGates:     p.g.FreeGates,
+		Inferences:    1,
+	}
+	p.st.addOT(otDelta(s.ots.Stats(), p.ot0))
+	p.done = true
+	s.lastOutZero = p.outZero
+	s.inferences++
+	s.andGates += p.g.ANDGates
+	s.freeGates += p.g.FreeGates
+	// The garbler (with its schedule-sized label array) is only needed
+	// until the outputs authenticate; drop it so callers holding a batch
+	// of resolved PendingInferences don't retain one per sample.
+	p.g = nil
+	return nil
+}
+
+// InferAsync garbles and streams one inference without waiting for its
+// result: the cross-inference pipelining entry point. While the window
+// has room it returns as soon as the garbled stream is flushed — the
+// output round-trip and the server's evaluation tail overlap the next
+// InferAsync's garbling. When the window is full it first settles the
+// oldest in-flight result.
+func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	if s.closed {
-		return 0, nil, errors.New("core: session is closed")
+		return nil, errors.New("core: session is closed")
 	}
 	if s.failed {
-		return 0, nil, errors.New("core: session is broken by an earlier protocol error")
+		return nil, errors.New("core: session is broken by an earlier protocol error")
 	}
-	start := time.Now()
-	sent0, recv0 := s.conn.BytesSent, s.conn.BytesReceived
-	ot0 := s.ots.Stats()
 	if got, want := len(x), s.inputLen; got != want {
 		// Validated before any frame is sent: the session stays usable.
-		return 0, nil, fmt.Errorf("core: sample has %d features, model wants %d", got, want)
+		return nil, fmt.Errorf("core: sample has %d features, model wants %d", got, want)
+	}
+	for len(s.inflight) >= s.window {
+		if err := s.resolveNext(); err != nil {
+			s.failed = true
+			return nil, err
+		}
 	}
 	bits := make([]bool, 0, len(x)*s.f.Bits())
 	for _, v := range x {
@@ -436,11 +620,21 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 
 	// Any error past this point leaves the wire mid-inference: mark the
 	// session broken so a retry can't desynchronize the protocol.
-	fail := func(err error) (int, *Stats, error) {
+	fail := func(err error) (*PendingInference, error) {
 		s.failed = true
-		return 0, nil, err
+		return nil, err
 	}
-	if err := s.conn.Send(transport.MsgNextInfer, nil); err != nil {
+	id := s.nextID
+	s.nextID++
+	p := &PendingInference{
+		s:     s,
+		id:    id,
+		start: time.Now(),
+		sent0: s.conn.BytesSent.Load(),
+		recv0: s.conn.BytesReceived.Load(),
+		ot0:   s.ots.Stats(),
+	}
+	if err := s.conn.Send(transport.MsgInferBegin, transport.AppendTag(nil, id)); err != nil {
 		return fail(err)
 	}
 	// Fresh garbling state per inference: a new Free-XOR delta and new
@@ -454,21 +648,22 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 		return fail(err)
 	}
 	constPayload := append(append(s.labelBuf[:0], lf[:]...), lt[:]...)
-	if err := s.conn.Send(transport.MsgConstLabels, constPayload); err != nil {
+	if err := s.conn.SendTagged(transport.MsgInferConst, id, constPayload); err != nil {
 		return fail(err)
 	}
 	en := &garbleEngine{
 		sched:     s.prog.Schedule,
 		g:         g,
 		pool:      s.pool,
-		conn:      s.conn,
+		conn:      garbleConn{s, id},
 		ots:       s.ots,
 		cfg:       s.cfg,
 		inputBits: bits,
 		labelBuf:  s.labelBuf[:0],
-		outZero:   s.lastOutZero[:0],
-		cur:       s.chunkBuf,
-		free:      s.freeBufs,
+		// outZero is NOT recycled across inferences here: in-flight
+		// inferences hold theirs until their outputs authenticate.
+		cur:  s.chunkBuf,
+		free: s.freeBufs,
 	}
 	if err := en.run(); err != nil {
 		return fail(err)
@@ -479,59 +674,47 @@ func (s *Session) Infer(x []float64) (int, *Stats, error) {
 	// Hand the grown buffers back for the next inference on this session.
 	s.chunkBuf = en.cur
 	s.labelBuf = en.labelBuf
+	p.g = g
+	p.outZero = en.outZero
+	s.inflight = append(s.inflight, p)
+	return p, nil
+}
 
-	payload, err := s.conn.Recv(transport.MsgOutputLabels)
+// Infer classifies one sample on the open session and returns the
+// inference label, which only the client learns, plus statistics for this
+// inference alone (byte counts are deltas, not session totals). Infer is
+// synchronous — it settles this inference's result (and any older
+// in-flight ones) before returning, so a pure-Infer session is serial on
+// the wire regardless of the window.
+func (s *Session) Infer(x []float64) (int, *Stats, error) {
+	p, err := s.InferAsync(x)
 	if err != nil {
-		return fail(err)
+		return 0, nil, err
 	}
-	if len(payload) != len(en.outZero)*gc.LabelSize {
-		return fail(fmt.Errorf("core: output-label frame has %d bytes, want %d",
-			len(payload), len(en.outZero)*gc.LabelSize))
-	}
-	// Merge results (§2.2.2 step iv) with full-label authentication: a
-	// tampered or corrupted evaluation cannot yield a silently wrong
-	// label, it fails here.
-	label := 0
-	for i := range en.outZero {
-		var l gc.Label
-		copy(l[:], payload[i*gc.LabelSize:])
-		switch l {
-		case en.outZero[i]:
-			// bit 0
-		case en.outZero[i].XOR(g.R):
-			label |= 1 << uint(i)
-		default:
-			return fail(fmt.Errorf("core: output label %d failed authentication", i))
-		}
-	}
-	s.lastOutZero = en.outZero
-	s.inferences++
-	s.andGates += g.ANDGates
-	s.freeGates += g.FreeGates
-	st := &Stats{
-		BytesSent:     s.conn.BytesSent - sent0,
-		BytesReceived: s.conn.BytesReceived - recv0,
-		Duration:      time.Since(start),
-		ANDGates:      g.ANDGates,
-		FreeGates:     g.FreeGates,
-		Inferences:    1,
-	}
-	st.addOT(otDelta(s.ots.Stats(), ot0))
-	return label, st, nil
+	return p.Wait()
 }
 
 // Close ends the session cleanly, telling the server to stop waiting for
-// further inferences. The underlying connection stays open (and owned by
-// the caller). Close is idempotent. On a session broken mid-protocol the
-// end marker is withheld (the stream is desynchronized; only tearing
-// down the connection releases the peer).
+// further inferences. In-flight inferences are settled first, so their
+// results remain retrievable through Wait after Close. The underlying
+// connection stays open (and owned by the caller). Close is idempotent.
+// On a session broken mid-protocol the end marker is withheld (the
+// stream is desynchronized; only tearing down the connection releases
+// the peer).
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
+	var drainErr error
+	for !s.failed && len(s.inflight) > 0 {
+		if err := s.resolveNext(); err != nil {
+			s.failed = true
+			drainErr = err
+		}
+	}
 	s.closed = true
 	if s.failed {
-		return nil
+		return drainErr
 	}
 	if err := s.conn.Send(transport.MsgEndSession, nil); err != nil {
 		return err
@@ -543,8 +726,8 @@ func (s *Session) Close() error {
 // including the handshake and OT base phase.
 func (s *Session) Stats() *Stats {
 	st := &Stats{
-		BytesSent:     s.conn.BytesSent - s.sent0,
-		BytesReceived: s.conn.BytesReceived - s.recv0,
+		BytesSent:     s.conn.BytesSent.Load() - s.sent0,
+		BytesReceived: s.conn.BytesReceived.Load() - s.recv0,
 		Duration:      time.Since(s.start),
 		ANDGates:      s.andGates,
 		FreeGates:     s.freeGates,
@@ -571,21 +754,34 @@ func (c *Client) Infer(conn *transport.Conn, x []float64) (int, *Stats, error) {
 }
 
 // InferMany opens one session, classifies every sample on it, and closes
-// the session: N inferences for one handshake, one OT base phase, and one
-// netlist compilation. The returned stats are session totals.
+// the session: N inferences for one handshake, one OT base phase, and
+// one netlist compilation — and, with a pipeline window deeper than 1,
+// consecutive inferences overlapped on the wire (inference k+1 garbles
+// while inference k's output round-trip and evaluation tail are still
+// pending). Results stream in as they complete; the returned stats are
+// session totals.
 func (c *Client) InferMany(conn *transport.Conn, xs [][]float64) ([]int, *Stats, error) {
 	sess, err := c.NewSession(conn)
 	if err != nil {
 		return nil, nil, err
 	}
-	labels := make([]int, 0, len(xs))
+	ps := make([]*PendingInference, 0, len(xs))
 	for _, x := range xs {
-		label, _, err := sess.Infer(x)
+		p, err := sess.InferAsync(x)
 		if err != nil {
 			// Best-effort close so a server blocked at the inference
 			// boundary (e.g. after a local validation error) is released
 			// instead of waiting for the connection to die.
-			sess.Close() //nolint:errcheck — the Infer error is the one to report
+			sess.Close() //nolint:errcheck — the InferAsync error is the one to report
+			return nil, nil, err
+		}
+		ps = append(ps, p)
+	}
+	labels := make([]int, 0, len(xs))
+	for _, p := range ps {
+		label, _, err := p.Wait()
+		if err != nil {
+			sess.Close() //nolint:errcheck — the Wait error is the one to report
 			return nil, nil, err
 		}
 		labels = append(labels, label)

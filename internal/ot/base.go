@@ -55,7 +55,7 @@ func negY(y *big.Int) *big.Int {
 // BaseSend performs n base OTs as the sender over conn: for each i the
 // receiver learns pairs[i][choice_i] and nothing else, and the sender
 // learns nothing about the choices.
-func BaseSend(conn *transport.Conn, rng io.Reader, pairs [][2]Msg) error {
+func BaseSend(conn transport.FrameConn, rng io.Reader, pairs [][2]Msg) error {
 	a, err := randScalar(rng)
 	if err != nil {
 		return err
@@ -104,7 +104,7 @@ func BaseSend(conn *transport.Conn, rng io.Reader, pairs [][2]Msg) error {
 
 // BaseReceive performs n base OTs as the receiver: choices[i] selects
 // which of the sender's two messages is learned.
-func BaseReceive(conn *transport.Conn, rng io.Reader, choices []bool) ([]Msg, error) {
+func BaseReceive(conn transport.FrameConn, rng io.Reader, choices []bool) ([]Msg, error) {
 	payload, err := conn.Recv(transport.MsgOTBase)
 	if err != nil {
 		return nil, err

@@ -68,7 +68,7 @@ func transposeToRows(cols [][]byte, m int) [][16]byte {
 // ExtSender is the IKNP sender: it holds the message pairs in each
 // extended OT (the garbler, whose pairs are wire-label pairs).
 type ExtSender struct {
-	conn    *transport.Conn
+	conn    transport.FrameConn
 	s       []bool // secret base-OT choices
 	sRow    [16]byte
 	streams []cipher.Stream // stateful PRG per k_{s_i}, advanced per batch
@@ -78,7 +78,7 @@ type ExtSender struct {
 
 // NewExtSender runs the base phase (as base-OT receiver with a secret
 // choice vector) and returns a sender ready for Send batches.
-func NewExtSender(conn *transport.Conn, rng io.Reader) (*ExtSender, error) {
+func NewExtSender(conn transport.FrameConn, rng io.Reader) (*ExtSender, error) {
 	s := make([]bool, k)
 	var buf [k / 8]byte
 	if _, err := io.ReadFull(rng, buf[:]); err != nil {
@@ -165,7 +165,7 @@ func (es *ExtSender) SendWithU(pairs [][2]Msg, u []byte) error {
 // ExtReceiver is the IKNP receiver (the evaluator, whose choice bits are
 // its private input bits).
 type ExtReceiver struct {
-	conn     *transport.Conn
+	conn     transport.FrameConn
 	streams0 []cipher.Stream // stateful PRGs, advanced per batch
 	streams1 []cipher.Stream
 	h        *gc.Hasher
@@ -174,7 +174,7 @@ type ExtReceiver struct {
 
 // NewExtReceiver runs the base phase (as base-OT sender with random seed
 // pairs) and returns a receiver ready for Receive batches.
-func NewExtReceiver(conn *transport.Conn, rng io.Reader) (*ExtReceiver, error) {
+func NewExtReceiver(conn transport.FrameConn, rng io.Reader) (*ExtReceiver, error) {
 	er := &ExtReceiver{conn: conn, h: gc.NewHasher()}
 	pairs := make([][2]Msg, k)
 	er.streams0 = make([]cipher.Stream, k)

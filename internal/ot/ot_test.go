@@ -223,7 +223,7 @@ func TestExtensionEmptyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sent0 := b.BytesSent
+	sent0 := b.BytesSent.Load()
 	empty, err := r.Receive(nil)
 	if err != nil {
 		t.Fatalf("empty Receive: %v", err)
@@ -231,7 +231,7 @@ func TestExtensionEmptyBatch(t *testing.T) {
 	if empty != nil {
 		t.Errorf("empty Receive returned %d messages", len(empty))
 	}
-	if b.BytesSent != sent0 {
+	if b.BytesSent.Load() != sent0 {
 		t.Error("empty batch put frames on the wire")
 	}
 	got, err := r.Receive(choices)

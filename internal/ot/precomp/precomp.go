@@ -35,6 +35,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"deepsecure/internal/ot"
@@ -134,9 +135,11 @@ func randBits(rng io.Reader, n int) ([]bool, error) {
 
 // ReceiverPool is the evaluator-side pool: it banks (c, r_c) tuples, owns
 // the refill policy, and drives the wire protocol (the sender reacts to
-// its announcements). Not safe for concurrent use; one pool per session.
+// its announcements). One pool per session; consumers must be serialized
+// (a pipelined session uses a Sequencer), but Stats is safe to read
+// concurrently.
 type ReceiverPool struct {
-	conn *transport.Conn
+	conn transport.FrameConn
 	ots  *ot.ExtReceiver
 	rng  io.Reader
 	cfg  PoolConfig
@@ -156,7 +159,13 @@ type ReceiverPool struct {
 	// other use of the ExtReceiver, preserving stream/hash ordering.
 	pending chan pendingFill
 
-	st Stats
+	// st is guarded by stMu: consumers are serialized (by the session,
+	// or by a Sequencer on pipelined sessions), but Stats may be read
+	// concurrently — e.g. a session tearing down on one inference's
+	// error snapshots counters while another inference's exchange is
+	// still unwinding.
+	stMu sync.Mutex
+	st   Stats
 }
 
 type pendingFill struct {
@@ -169,12 +178,30 @@ type pendingFill struct {
 // NewReceiverPool wraps a session's extension receiver. rng sources the
 // pool's random choice bits (and must match the session's randomness
 // policy for concurrency).
-func NewReceiverPool(conn *transport.Conn, ots *ot.ExtReceiver, rng io.Reader, cfg PoolConfig) *ReceiverPool {
+func NewReceiverPool(conn transport.FrameConn, ots *ot.ExtReceiver, rng io.Reader, cfg PoolConfig) *ReceiverPool {
 	return &ReceiverPool{conn: conn, ots: ots, rng: rng, cfg: cfg}
 }
 
-// Stats returns a snapshot of the pool's counters.
-func (p *ReceiverPool) Stats() Stats { return p.st }
+// Stats returns a snapshot of the pool's counters. Safe to call
+// concurrently with a consumer (teardown-path snapshots).
+func (p *ReceiverPool) Stats() Stats {
+	p.stMu.Lock()
+	defer p.stMu.Unlock()
+	return p.st
+}
+
+// stAdd folds a delta into the guarded counters.
+func (p *ReceiverPool) stAdd(d Stats) {
+	p.stMu.Lock()
+	p.st.Generated += d.Generated
+	p.st.Consumed += d.Consumed
+	p.st.Direct += d.Direct
+	p.st.Refills += d.Refills
+	p.st.Batches += d.Batches
+	p.st.OfflineTime += d.OfflineTime
+	p.st.OnlineTime += d.OnlineTime
+	p.stMu.Unlock()
+}
 
 // Seq returns the absolute sequence number of the next pooled OT to be
 // consumed. It is strictly monotone: tests use it to prove that consumed
@@ -223,7 +250,7 @@ func (p *ReceiverPool) refill(n int) error {
 	if err := p.finishRefill(n, choices, pr); err != nil {
 		return err
 	}
-	p.st.OfflineTime += time.Since(start)
+	p.stAdd(Stats{OfflineTime: time.Since(start)})
 	return nil
 }
 
@@ -247,8 +274,7 @@ func (p *ReceiverPool) finishRefill(n int, choices []bool, pr *ot.PreparedReceiv
 	p.compact()
 	p.bits = append(p.bits, choices...)
 	p.msgs = append(p.msgs, msgs...)
-	p.st.Generated += int64(n)
-	p.st.Refills++
+	p.stAdd(Stats{Generated: int64(n), Refills: 1})
 	return nil
 }
 
@@ -277,7 +303,7 @@ func (p *ReceiverPool) resolvePending() error {
 		return f.err
 	}
 	err := p.finishRefill(f.n, f.choices, f.pr)
-	p.st.OfflineTime += time.Since(start)
+	p.stAdd(Stats{OfflineTime: time.Since(start)})
 	return err
 }
 
@@ -294,7 +320,7 @@ func (p *ReceiverPool) maybeStartBackground() {
 	start := time.Now()
 	choices, err := randBits(p.rng, n)
 	if err != nil {
-		p.st.OfflineTime += time.Since(start)
+		p.stAdd(Stats{OfflineTime: time.Since(start)})
 		// Surface the randomness failure at the next exchange point.
 		ch := make(chan pendingFill, 1)
 		ch <- pendingFill{err: err}
@@ -309,7 +335,7 @@ func (p *ReceiverPool) maybeStartBackground() {
 		pr := p.ots.Prepare(choices)
 		ch <- pendingFill{n: n, choices: choices, pr: pr}
 	}()
-	p.st.OfflineTime += time.Since(start)
+	p.stAdd(Stats{OfflineTime: time.Since(start)})
 }
 
 // Receive obliviously obtains the messages selected by choices, like
@@ -324,9 +350,7 @@ func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
 	if !p.cfg.Enabled() {
 		start := time.Now()
 		msgs, err := p.ots.Receive(choices)
-		p.st.OnlineTime += time.Since(start)
-		p.st.Direct += int64(m)
-		p.st.Batches++
+		p.stAdd(Stats{OnlineTime: time.Since(start), Direct: int64(m), Batches: 1})
 		return msgs, err
 	}
 	// A background precompute already advanced the PRG streams: its U
@@ -379,9 +403,7 @@ func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
 	}
 	p.head += m
 	p.seq += int64(m)
-	p.st.Consumed += int64(m)
-	p.st.Batches++
-	p.st.OnlineTime += time.Since(start)
+	p.stAdd(Stats{Consumed: int64(m), Batches: 1, OnlineTime: time.Since(start)})
 	p.maybeStartBackground()
 	return out, nil
 }
@@ -391,7 +413,7 @@ func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
 // derandomized batch, whichever frame arrives. Not safe for concurrent
 // use; one pool per session.
 type SenderPool struct {
-	conn *transport.Conn
+	conn transport.FrameConn
 	ots  *ot.ExtSender
 	rng  io.Reader
 
@@ -405,7 +427,7 @@ type SenderPool struct {
 
 // NewSenderPool wraps a session's extension sender. rng sources the
 // pool's random label pairs.
-func NewSenderPool(conn *transport.Conn, ots *ot.ExtSender, rng io.Reader) *SenderPool {
+func NewSenderPool(conn transport.FrameConn, ots *ot.ExtSender, rng io.Reader) *SenderPool {
 	return &SenderPool{conn: conn, ots: ots, rng: rng}
 }
 

@@ -250,7 +250,7 @@ func TestBackgroundRefill(t *testing.T) {
 func TestEmptyBatch(t *testing.T) {
 	sp, rp, done := pools(t, PoolConfig{Capacity: 16}, 80)
 	defer done()
-	sent0 := rp.conn.BytesSent
+	sent0 := rp.conn.(*transport.Conn).BytesSent.Load()
 	got, err := rp.Receive(nil)
 	if err != nil || got != nil {
 		t.Fatalf("empty Receive = (%v, %v)", got, err)
@@ -258,7 +258,7 @@ func TestEmptyBatch(t *testing.T) {
 	if err := sp.Send(nil); err != nil {
 		t.Fatalf("empty Send: %v", err)
 	}
-	if rp.conn.BytesSent != sent0 {
+	if rp.conn.(*transport.Conn).BytesSent.Load() != sent0 {
 		t.Error("empty batch put frames on the wire")
 	}
 	if rp.Stats().Consumed != 0 || sp.Stats().Consumed != 0 {
@@ -338,11 +338,11 @@ func TestOversizedCapacityFailsLocally(t *testing.T) {
 		t.Fatal(err)
 	}
 	rp := NewReceiverPool(rConn, otr, rand.New(rand.NewSource(100)), PoolConfig{Capacity: maxRefill + 1})
-	sent0 := rConn.BytesSent
+	sent0 := rConn.BytesSent.Load()
 	if err := rp.Announce(); err == nil {
 		t.Fatal("oversized capacity must fail Announce")
 	}
-	if rConn.BytesSent != sent0 {
+	if rConn.BytesSent.Load() != sent0 {
 		t.Error("oversized capacity leaked frames onto the wire")
 	}
 }

@@ -1,0 +1,76 @@
+package precomp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSequencerAdmitsInOrder launches consumers in scrambled start order
+// and asserts the sequencer serializes their critical sections into
+// strictly increasing turn order.
+func TestSequencerAdmitsInOrder(t *testing.T) {
+	const n = 8
+	s := NewSequencer(1)
+	var mu sync.Mutex
+	var order []int64
+	var wg sync.WaitGroup
+	// Launch highest turns first so the scheduler's natural order fights
+	// the sequencer's.
+	for turn := int64(n); turn >= 1; turn-- {
+		wg.Add(1)
+		go func(turn int64) {
+			defer wg.Done()
+			if err := s.Acquire(turn); err != nil {
+				t.Errorf("turn %d: %v", turn, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, turn)
+			mu.Unlock()
+			s.Release(turn)
+		}(turn)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	if len(order) != n {
+		t.Fatalf("%d turns ran, want %d", len(order), n)
+	}
+	for i, turn := range order {
+		if turn != int64(i+1) {
+			t.Fatalf("admission order %v is not sequential", order)
+		}
+	}
+}
+
+// TestSequencerAbortUnblocksWaiters pins the teardown path: waiters whose
+// turn will never come must fail fast with ErrSequencerAborted instead of
+// hanging the session forever.
+func TestSequencerAbortUnblocksWaiters(t *testing.T) {
+	s := NewSequencer(1)
+	if err := s.Acquire(1); err != nil {
+		t.Fatal(err)
+	}
+	// Turn 1 dies without releasing (a failed inference context); turn 2
+	// is parked.
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Acquire(2) }()
+	select {
+	case err := <-errCh:
+		t.Fatalf("turn 2 admitted out of order: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Abort()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrSequencerAborted) {
+			t.Fatalf("aborted waiter got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort left a waiter blocked")
+	}
+	if err := s.Acquire(3); !errors.Is(err, ErrSequencerAborted) {
+		t.Fatalf("post-abort Acquire got %v", err)
+	}
+}

@@ -40,6 +40,12 @@ type Stats struct {
 	OTsPooled   int64
 	OTsConsumed int64
 	OTRefills   int64
+
+	// Cross-inference pipelining across all sessions: the highest
+	// in-flight inference count any session reached, and the cumulative
+	// wall time sessions spent with at least two inferences overlapped.
+	MaxInFlight int64
+	OverlapTime time.Duration
 }
 
 // Server serves secure-inference sessions over TCP (or any net.Listener).
@@ -68,6 +74,8 @@ type Server struct {
 	otsPooled   atomic.Int64
 	otsConsumed atomic.Int64
 	otRefills   atomic.Int64
+	maxInFlight atomic.Int64
+	overlapNs   atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -87,6 +95,15 @@ func WithEngine(cfg core.EngineConfig) Option {
 // online. The server owns the policy; clients follow the announcement.
 func WithOTPool(cfg precomp.PoolConfig) Option {
 	return func(s *Server) { s.core.OTPool = cfg }
+}
+
+// WithPipeline sets the cross-inference pipelining depth the server
+// announces and enforces: up to depth inferences of one session may be
+// in flight at once, the later ones garbling while the earlier ones
+// finish evaluating and round-trip their output labels. Depth 1
+// disables overlap; 0 keeps the default (core.DefaultPipelineDepth).
+func WithPipeline(depth int) Option {
+	return func(s *Server) { s.core.Engine.Pipeline = depth }
 }
 
 // WithIdleTimeout bounds how long a session connection may sit idle.
@@ -193,19 +210,46 @@ func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
 // the peer went quiet — including a peer that keeps the connection open
 // but stops draining its receive window (which would otherwise pin the
 // server in a blocked Write that no read deadline can interrupt).
+//
+// On a pipelined (v4) session the demux reader always has a read
+// pending, including during an inference's evaluation tail, when a
+// conforming client is legitimately silent (it is waiting for the
+// output labels). A timed-out read therefore only counts as a stall if
+// the session made no compute progress since the previous deadline:
+// progress points at the transport.Conn's activity counter, which the
+// evaluation engine bumps per gate level.
 type idleConn struct {
 	net.Conn
 	idle time.Duration
+
+	progress     *atomic.Int64
+	lastProgress int64 // only touched by the (single) reading goroutine
 }
 
-func (c idleConn) Read(p []byte) (int, error) {
-	if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
-		return 0, err
+func (c *idleConn) Read(p []byte) (int, error) {
+	for {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+			return 0, err
+		}
+		n, err := c.Conn.Read(p)
+		if err == nil || n > 0 {
+			return n, err
+		}
+		var ne net.Error
+		if c.progress != nil && errors.As(err, &ne) && ne.Timeout() {
+			if cur := c.progress.Load(); cur != c.lastProgress {
+				// Quiet wire but a busy evaluator: re-arm and keep
+				// waiting. A genuinely stalled peer stops advancing the
+				// counter and times out on the next pass.
+				c.lastProgress = cur
+				continue
+			}
+		}
+		return n, err
 	}
-	return c.Conn.Read(p)
 }
 
-func (c idleConn) Write(p []byte) (int, error) {
+func (c *idleConn) Write(p []byte) (int, error) {
 	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.idle)); err != nil {
 		return 0, err
 	}
@@ -226,10 +270,15 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	start := time.Now()
 	rw := io.ReadWriter(conn)
+	var ic *idleConn
 	if s.idleTimeout > 0 {
-		rw = idleConn{Conn: conn, idle: s.idleTimeout}
+		ic = &idleConn{Conn: conn, idle: s.idleTimeout}
+		rw = ic
 	}
 	tc := transport.New(rw)
+	if ic != nil {
+		ic.progress = &tc.Progress
+	}
 	st, err := s.core.ServeSession(tc)
 	if st != nil {
 		s.inferences.Add(st.Inferences)
@@ -238,6 +287,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.otsPooled.Add(st.OTsPooled)
 		s.otsConsumed.Add(st.OTsConsumed)
 		s.otRefills.Add(st.OTRefills)
+		s.overlapNs.Add(int64(st.OverlapTime))
+		for {
+			cur := s.maxInFlight.Load()
+			if st.MaxInFlight <= cur || s.maxInFlight.CompareAndSwap(cur, st.MaxInFlight) {
+				break
+			}
+		}
 	}
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		s.errors.Add(1)
@@ -245,12 +301,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.RemoteAddr(), sessionInferences(st), err)
 		return
 	}
-	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v (OT offline %v / online %v, %d pooled, %d derandomized, %d refill(s))",
+	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v (OT offline %v / online %v, %d pooled, %d derandomized, %d refill(s); pipeline peak %d in flight, %v overlapped)",
 		conn.RemoteAddr(), sessionInferences(st),
 		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
 		time.Since(start).Round(time.Millisecond),
 		st.OTOfflineTime.Round(time.Millisecond), st.OTOnlineTime.Round(time.Millisecond),
-		st.OTsPooled, st.OTsConsumed, st.OTRefills)
+		st.OTsPooled, st.OTsConsumed, st.OTRefills,
+		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
 }
 
 func sessionInferences(st *core.Stats) int64 {
@@ -278,6 +335,8 @@ func (s *Server) Stats() Stats {
 		OTsPooled:      s.otsPooled.Load(),
 		OTsConsumed:    s.otsConsumed.Load(),
 		OTRefills:      s.otRefills.Load(),
+		MaxInFlight:    s.maxInFlight.Load(),
+		OverlapTime:    time.Duration(s.overlapNs.Load()),
 	}
 }
 

@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -455,5 +457,160 @@ func TestWithOTPoolOption(t *testing.T) {
 	}
 	if got := srv.Stats(); got.OTsPooled == 0 || got.OTsConsumed == 0 || got.OTRefills == 0 {
 		t.Errorf("server stats missing pooled-OT counters: %+v", got)
+	}
+}
+
+func TestPipelinedSessionsOverTCP(t *testing.T) {
+	// Cross-inference pipelining end to end over real sockets, with the
+	// OT pool on and concurrent clients: labels must stay correct, every
+	// session's in-flight peak must respect the announced window, and
+	// the overlap counters must surface in the server stats. Run with
+	// -race: the demux reader, per-inference contexts, and shared writer
+	// all touch one connection.
+	model := testModel(t)
+	srv, err := New(model, fixed.Default,
+		WithPipeline(2),
+		WithOTPool(precomp.PoolConfig{Capacity: 4096, RefillLowWater: 1024, Background: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}()
+
+	const clients = 3
+	const perClient = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer nc.Close()
+			cli := &core.Client{
+				Rng:    rand.New(rand.NewSource(int64(300 + c))),
+				Engine: core.EngineConfig{Pipeline: 2},
+			}
+			rng := rand.New(rand.NewSource(int64(400 + c)))
+			xs := make([][]float64, perClient)
+			want := make([]int, perClient)
+			for i := range xs {
+				xs[i] = sample(rng, 6)
+				want[i] = model.PredictFixed(fixed.Default, xs[i])
+			}
+			labels, _, err := cli.InferMany(transport.New(nc), xs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range labels {
+				if labels[i] != want[i] {
+					t.Errorf("client %d sample %d: secure %d, plaintext %d", c, i, labels[i], want[i])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Inferences != clients*perClient && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.Sessions != clients || st.Inferences != clients*perClient || st.Errors != 0 {
+		t.Errorf("server stats %+v, want %d sessions x %d inferences", st, clients, perClient)
+	}
+	if st.MaxInFlight < 1 || st.MaxInFlight > 2 {
+		t.Errorf("MaxInFlight = %d, want within [1, 2]", st.MaxInFlight)
+	}
+}
+
+// stallConn is a fake net.Conn whose reads always time out, invoking a
+// hook first so tests can model compute progress between deadlines.
+type stallConn struct {
+	reads     int
+	onTimeout func(n int)
+}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+func (c *stallConn) Read(p []byte) (int, error) {
+	n := c.reads
+	c.reads++
+	if c.onTimeout != nil {
+		c.onTimeout(n)
+	}
+	return 0, timeoutError{}
+}
+func (c *stallConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *stallConn) Close() error                     { return nil }
+func (c *stallConn) LocalAddr() net.Addr              { return nil }
+func (c *stallConn) RemoteAddr() net.Addr             { return nil }
+func (c *stallConn) SetDeadline(time.Time) error      { return nil }
+func (c *stallConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *stallConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestIdleConnToleratesComputeProgress pins the v4 liveness rule: a
+// timed-out read only counts as a stall when the session made no
+// compute progress since the previous deadline. A pipelined session's
+// demux reader always has a read pending — including during an
+// inference's evaluation tail, when a conforming client is legitimately
+// silent — so the idle reaper must watch the engine's progress counter,
+// not just the wire.
+func TestIdleConnToleratesComputeProgress(t *testing.T) {
+	var prog atomic.Int64
+	fc := &stallConn{onTimeout: func(n int) {
+		if n < 3 {
+			prog.Add(1) // the evaluator is chewing levels: session alive
+		}
+	}}
+	c := &idleConn{Conn: fc, idle: time.Millisecond, progress: &prog}
+	buf := make([]byte, 1)
+	_, err := c.Read(buf)
+	var ne net.Error
+	if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("Read returned %v, want a timeout", err)
+	}
+	// Three timeouts with progress are tolerated; the fourth, with the
+	// counter unchanged, is a real stall.
+	if fc.reads != 4 {
+		t.Fatalf("idleConn retried %d reads, want 4 (3 with progress + the stall)", fc.reads)
+	}
+
+	// Without a progress counter (pre-v4 behavior) the first timeout is
+	// final.
+	fc2 := &stallConn{}
+	c2 := &idleConn{Conn: fc2, idle: time.Millisecond}
+	if _, err := c2.Read(buf); err == nil {
+		t.Fatal("expected timeout")
+	}
+	if fc2.reads != 1 {
+		t.Fatalf("progress-less idleConn retried %d reads, want 1", fc2.reads)
 	}
 }

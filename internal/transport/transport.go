@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // MsgType tags each frame with its protocol role.
@@ -44,7 +45,31 @@ const (
 	MsgOTRefill
 	MsgOTDerandC
 	MsgOTDerandM
+	// Cross-inference pipelining (protocol v4): MsgPipeline is the
+	// server's in-flight window announcement (uvarint depth, sent once
+	// after the architecture), MsgInferBegin opens the per-inference
+	// sub-stream carrying its uvarint inference id, and the MsgInfer*
+	// frames are the tagged v4 variants of the per-inference traffic —
+	// each payload starts with the uvarint inference id (AppendTag /
+	// SplitTag) so frames of overlapped inferences can share one
+	// connection. OT frames stay untagged: the pool's strict FIFO order
+	// already serializes them into a total order both parties derive
+	// from the inference ids.
+	MsgPipeline
+	MsgInferBegin
+	MsgInferConst
+	MsgInferInputs
+	MsgInferTables
+	MsgInferOutputs
+
+	// msgTypeEnd sentinels the name table: every defined MsgType is
+	// strictly below it (tests iterate the full range).
+	msgTypeEnd
 )
+
+// MsgTypeCount is the number of defined frame types; MsgType values in
+// [1, MsgTypeCount] are valid protocol frames.
+const MsgTypeCount = int(msgTypeEnd) - 1
 
 // msgNames is the static name table behind MsgType.String — built once at
 // package init instead of per call (String sits on every protocol-desync
@@ -58,6 +83,9 @@ var msgNames = map[MsgType]string{
 	MsgNextInfer: "next-infer", MsgEndSession: "end-session",
 	MsgOTRefill: "ot-refill", MsgOTDerandC: "ot-derand-c",
 	MsgOTDerandM: "ot-derand-m",
+	MsgPipeline:  "pipeline", MsgInferBegin: "infer-begin",
+	MsgInferConst: "infer-const", MsgInferInputs: "infer-inputs",
+	MsgInferTables: "infer-tables", MsgInferOutputs: "infer-outputs",
 }
 
 // String names the message type.
@@ -72,17 +100,39 @@ func (m MsgType) String() string {
 // prefixes fail fast instead of attempting absurd allocations.
 const MaxFrame = 1 << 30
 
-// Conn is a framed duplex channel. It is not safe for concurrent use by
-// multiple goroutines on the same side (the protocol is strictly
-// alternating within a party).
+// FrameConn is the frame-level interface the protocol layers speak: a
+// *Conn satisfies it directly, and pipelined sessions satisfy it with
+// per-inference views that tag outgoing frames and route incoming ones
+// through a demultiplexer. Code written against FrameConn (the OT stack,
+// the execution engines) runs unchanged over either.
+type FrameConn interface {
+	Send(t MsgType, payload []byte) error
+	Recv(want MsgType) ([]byte, error)
+	RecvAny(want ...MsgType) (MsgType, []byte, error)
+	Flush() error
+}
+
+// Conn is a framed duplex channel. A Conn is not safe for arbitrary
+// concurrent use, but it does support the split demultiplexed sessions
+// rely on: one goroutine reading via ReadFrame while others send under
+// an external lock (the write buffer is only touched by Send and Flush,
+// never by ReadFrame).
 type Conn struct {
 	rw      io.ReadWriter
 	wbuf    []byte
 	scratch [5]byte
 
-	// Stats mirror the paper's communication accounting.
-	BytesSent     int64
-	BytesReceived int64
+	// Stats mirror the paper's communication accounting. Atomics so a
+	// demux reader and the senders can account concurrently.
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+
+	// Progress is a generic session-activity counter: protocol layers
+	// above may bump it on compute progress (e.g. per evaluated gate
+	// level) so transport wrappers below — idle-timeout connections —
+	// can tell a compute-busy peer apart from a stalled one even while
+	// the wire is quiet.
+	Progress atomic.Int64
 }
 
 // New wraps a byte stream in a framed connection.
@@ -91,13 +141,27 @@ func New(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 // Send buffers one frame. Frames accumulate until Flush (or an implicit
 // flush in Recv) so streamed garbled tables batch into large writes.
 func (c *Conn) Send(t MsgType, payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("transport: frame %v too large (%d bytes)", t, len(payload))
+	return c.send(t, nil, payload)
+}
+
+// SendTagged buffers one v4 sub-stream frame whose payload is the
+// uvarint inference id followed by payload. The tag is framed in place —
+// no copy of the (often megabyte-sized) table payload is made.
+func (c *Conn) SendTagged(t MsgType, id uint64, payload []byte) error {
+	var tag [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tag[:], id)
+	return c.send(t, tag[:n], payload)
+}
+
+func (c *Conn) send(t MsgType, tag, payload []byte) error {
+	if len(payload)+len(tag) > MaxFrame {
+		return fmt.Errorf("transport: frame %v too large (%d bytes)", t, len(payload)+len(tag))
 	}
 	var hdr [5]byte
 	hdr[0] = byte(t)
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(tag)+len(payload)))
 	c.wbuf = append(c.wbuf, hdr[:]...)
+	c.wbuf = append(c.wbuf, tag...)
 	c.wbuf = append(c.wbuf, payload...)
 	if len(c.wbuf) >= 1<<20 {
 		return c.Flush()
@@ -111,7 +175,7 @@ func (c *Conn) Flush() error {
 		return nil
 	}
 	n, err := c.rw.Write(c.wbuf)
-	c.BytesSent += int64(n)
+	c.BytesSent.Add(int64(n))
 	c.wbuf = c.wbuf[:0]
 	if err != nil {
 		return fmt.Errorf("transport: write: %w", err)
@@ -136,6 +200,25 @@ func (c *Conn) RecvAny(want ...MsgType) (MsgType, []byte, error) {
 	if err := c.Flush(); err != nil {
 		return 0, nil, err
 	}
+	got, payload, err := c.ReadFrame()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, w := range want {
+		if got == w {
+			return got, payload, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("transport: protocol desync: got %v frame, want %v", got, wantNames(want))
+}
+
+// ReadFrame reads the next frame of any type WITHOUT flushing buffered
+// writes: the receive primitive for demultiplexed sessions, where a
+// dedicated reader goroutine drains frames while other goroutines send
+// under their own lock (a flush here would race the write buffer).
+// Single-goroutine callers should prefer Recv/RecvAny, which flush first
+// so a request can never deadlock behind its own unflushed send.
+func (c *Conn) ReadFrame() (MsgType, []byte, error) {
 	if _, err := io.ReadFull(c.rw, c.scratch[:]); err != nil {
 		return 0, nil, fmt.Errorf("transport: read header: %w", err)
 	}
@@ -148,13 +231,8 @@ func (c *Conn) RecvAny(want ...MsgType) (MsgType, []byte, error) {
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
 		return 0, nil, fmt.Errorf("transport: read %v payload: %w", got, err)
 	}
-	c.BytesReceived += int64(5 + n)
-	for _, w := range want {
-		if got == w {
-			return got, payload, nil
-		}
-	}
-	return 0, nil, fmt.Errorf("transport: protocol desync: got %v frame, want %v", got, wantNames(want))
+	c.BytesReceived.Add(int64(5 + n))
+	return got, payload, nil
 }
 
 func wantNames(want []MsgType) string {

@@ -140,11 +140,11 @@ func TestStatsAccounting(t *testing.T) {
 	if _, err := b.Recv(MsgTables); err != nil {
 		t.Fatal(err)
 	}
-	if a.BytesSent != 1005 {
-		t.Errorf("BytesSent = %d, want 1005", a.BytesSent)
+	if a.BytesSent.Load() != 1005 {
+		t.Errorf("BytesSent = %d, want 1005", a.BytesSent.Load())
 	}
-	if b.BytesReceived != 1005 {
-		t.Errorf("BytesReceived = %d, want 1005", b.BytesReceived)
+	if b.BytesReceived.Load() != 1005 {
+		t.Errorf("BytesReceived = %d, want 1005", b.BytesReceived.Load())
 	}
 }
 
@@ -254,16 +254,21 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	// Every defined frame type must have a real name: a "msg(n)"
 	// fallback here means a new constant was added without extending the
-	// package-level name table.
-	for m := MsgHello; m <= MsgOTDerandM; m++ {
+	// package-level name table. MsgTypeCount tracks the constant block,
+	// so this loop covers new types automatically.
+	for m := MsgHello; int(m) <= MsgTypeCount; m++ {
 		if s := m.String(); strings.HasPrefix(s, "msg(") {
 			t.Errorf("frame type %d has no name", uint8(m))
 		}
 	}
 	for m, want := range map[MsgType]string{
-		MsgOTRefill:  "ot-refill",
-		MsgOTDerandC: "ot-derand-c",
-		MsgOTDerandM: "ot-derand-m",
+		MsgOTRefill:     "ot-refill",
+		MsgOTDerandC:    "ot-derand-c",
+		MsgOTDerandM:    "ot-derand-m",
+		MsgPipeline:     "pipeline",
+		MsgInferBegin:   "infer-begin",
+		MsgInferTables:  "infer-tables",
+		MsgInferOutputs: "infer-outputs",
 	} {
 		if got := m.String(); got != want {
 			t.Errorf("MsgType(%d).String() = %q, want %q", uint8(m), got, want)
