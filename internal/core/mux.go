@@ -249,6 +249,12 @@ func (m *sessionMux) run(st *Stats) error {
 		if ev.readerDone {
 			readerDone = true
 			readerErr = ev.err
+			// The reader has closed every routing channel, so no context
+			// can make further progress — abort the pool order now, not
+			// just on return. A torn context skips Release (engine.go), so
+			// a later context blocked in Acquire would otherwise never
+			// emit its event and this loop would wait for it forever.
+			m.seqr.Abort()
 		} else {
 			done++
 			switch {
@@ -258,6 +264,9 @@ func (m *sessionMux) run(st *Stats) error {
 				if tornErr == nil {
 					tornErr = ev.err
 				}
+				// A torn context may have died holding its pool turn
+				// without Releasing; wake any context gated behind it.
+				m.seqr.Abort()
 			default:
 				m.finishStats(st)
 				return ev.err

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"deepsecure/internal/act"
 	"deepsecure/internal/circuit"
@@ -601,5 +602,86 @@ func TestPipelineUnsolicitedOTFrameRejected(t *testing.T) {
 	wg.Wait()
 	if srvErr == nil || !strings.Contains(srvErr.Error(), "unsolicited") {
 		t.Fatalf("server error = %v, want unsolicited-frame rejection", srvErr)
+	}
+}
+
+// TestPipelineMidOTDisconnectTerminates pins the teardown path where the
+// client vanishes while inference 1 holds the OT pool turn mid-exchange
+// and inference 2 is gated behind it in Sequencer.Acquire: the turn is
+// never Released (a failed exchange deliberately skips it), so unless
+// run() aborts the sequencer eagerly on reader death, inference 2 never
+// wakes, never emits its event, and ServeSession hangs forever.
+func TestPipelineMidOTDisconnectTerminates(t *testing.T) {
+	f := fixed.Default
+	net := testNet(t, act.ReLU, 90)
+	cConn, sConn, closer := transport.Pipe()
+	defer closer.Close()
+	cfg := EngineConfig{Workers: 1, ChunkBytes: 2048, Pipeline: 2}
+	srv := &Server{Net: net, Fmt: f, Rng: rand.New(rand.NewSource(91)), Engine: cfg}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.ServeSession(sConn)
+		done <- err
+	}()
+	cli := &Client{Rng: rand.New(rand.NewSource(92)), Engine: cfg}
+	if _, err := cli.NewSession(cConn); err != nil {
+		t.Fatalf("open session: %v", err)
+	}
+	// Hand-craft two inference sub-streams that each walk the server's
+	// context exactly to its first evaluator-input step (the same program
+	// the server schedules from, so frame sizes line up; label contents
+	// are irrelevant — evaluation never starts). Context 1 then sends its
+	// OT request and waits for the response; context 2 blocks in
+	// Acquire(2) behind the held turn.
+	prog, err := netgen.Compile(net, f, netgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		var begin [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(begin[:], id)
+		if err := cConn.Send(transport.MsgInferBegin, begin[:n]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cConn.SendTagged(transport.MsgInferConst, id, make([]byte, 2*gc.LabelSize)); err != nil {
+			t.Fatal(err)
+		}
+	walk:
+		for i := range prog.Schedule.Steps {
+			st := &prog.Schedule.Steps[i]
+			switch {
+			case st.Kind == circuit.StepInputs && st.Party == circuit.Garbler:
+				if err := cConn.SendTagged(transport.MsgInferInputs, id, make([]byte, len(st.Wires)*gc.LabelSize)); err != nil {
+					t.Fatal(err)
+				}
+			case st.Kind == circuit.StepInputs && st.Party == circuit.Evaluator:
+				break walk
+			default:
+				t.Fatalf("test net schedules step %d (%v) before the first evaluator-input step", i, st.Kind)
+			}
+		}
+	}
+	if err := cConn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until inference 1's OT request is on the wire — its context
+	// now holds the pool turn — then disconnect without answering.
+	for {
+		typ, _, err := cConn.ReadFrame()
+		if err != nil {
+			t.Fatalf("reading server frames: %v", err)
+		}
+		if typ == transport.MsgOTDerandC || typ == transport.MsgOTExtU || typ == transport.MsgOTRefill {
+			break
+		}
+	}
+	closer.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mid-inference disconnect should surface as a session error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ServeSession still blocked 30s after a mid-OT disconnect")
 	}
 }

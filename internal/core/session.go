@@ -327,10 +327,6 @@ type Session struct {
 	freeBufs chan []byte
 	chunkBuf []byte
 	labelBuf []byte
-
-	// lastOutZero records the previous inference's output zero-labels;
-	// tests use it to confirm labels are fresh per inference.
-	lastOutZero []gc.Label
 }
 
 // clientOTConn is the client session's OT-protocol face: a passthrough
@@ -579,7 +575,6 @@ func (s *Session) resolveOutput(payload []byte) error {
 	}
 	p.st.addOT(otDelta(s.ots.Stats(), p.ot0))
 	p.done = true
-	s.lastOutZero = p.outZero
 	s.inferences++
 	s.andGates += p.g.ANDGates
 	s.freeGates += p.g.FreeGates

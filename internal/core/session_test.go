@@ -45,7 +45,11 @@ func TestMultiInferenceSession(t *testing.T) {
 			x[j] = rng.Float64()*2 - 1
 		}
 		want := net.PredictFixed(f, x)
-		got, st, err := sess.Infer(x)
+		p, err := sess.InferAsync(x)
+		if err != nil {
+			t.Fatalf("inference %d: %v", i, err)
+		}
+		got, st, err := p.Wait()
 		if err != nil {
 			t.Fatalf("inference %d: %v", i, err)
 		}
@@ -58,7 +62,7 @@ func TestMultiInferenceSession(t *testing.T) {
 		// Fresh garbling per inference: the output zero-labels of two
 		// garbled executions of the same netlist must differ, or the
 		// transcripts would be linkable.
-		out := append([]gc.Label(nil), sess.lastOutZero...)
+		out := append([]gc.Label(nil), p.outZero...)
 		if prevOut != nil {
 			same := len(out) == len(prevOut)
 			if same {
