@@ -976,4 +976,105 @@ func BenchmarkSessionPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionBatch measures vectorized batch inference (protocol
+// v5): one InferBatch call fuses B samples into a single schedule walk,
+// one interleaved table stream, and one OT derandomization exchange per
+// input step — versus B=1, which pays the full protocol machinery per
+// sample. Two link models isolate the two gains: "cpu" (zero-latency
+// pipe) shows the amortized schedule walk and per-inference overheads,
+// while "wan" (25 ms one-way link, small model) shows the OT and output
+// round-trip amortization, which holds on any core count — serially B
+// samples pay B× the per-inference round-trips, while a batch pays them
+// once (the ≥1.5× B=16-vs-B=1 acceptance row). Every iteration includes
+// session setup, which the batch also amortizes. Results are committed
+// as BENCH_batch.json.
+func BenchmarkSessionBatch(b *testing.B) {
+	cpuNet, err := nn.NewNetwork(nn.Vec(64),
+		nn.NewDense(24),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpuNet.InitWeights(rand.New(rand.NewSource(95)))
+	wanNet, err := nn.NewNetwork(nn.Vec(6),
+		nn.NewDense(5),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(4),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wanNet.InitWeights(rand.New(rand.NewSource(96)))
+
+	links := []struct {
+		name  string
+		net   *nn.Network
+		inLen int
+		delay time.Duration
+	}{
+		{"cpu", cpuNet, 64, 0},
+		{"wan", wanNet, 6, 25 * time.Millisecond},
+	}
+	pool := precomp.PoolConfig{Capacity: 1 << 16, RefillLowWater: 1 << 14, Background: true}
+	for _, link := range links {
+		link := link
+		rng := rand.New(rand.NewSource(97))
+		xs := make([][]float64, 16)
+		for i := range xs {
+			xs[i] = make([]float64, link.inLen)
+			for j := range xs[i] {
+				xs[i][j] = rng.Float64()*2 - 1
+			}
+		}
+		for _, batch := range []int{1, 4, 16} {
+			batch := batch
+			b.Run(fmt.Sprintf("%s/B=%d", link.name, batch), func(b *testing.B) {
+				cfg := core.EngineConfig{MaxBatch: batch}
+				srv := &core.Server{Net: link.net, Fmt: fixed.Default, Engine: cfg, OTPool: pool}
+				if err := srv.Precompile(); err != nil {
+					b.Fatal(err)
+				}
+				cli := &core.Client{Engine: cfg}
+				var otExchanges int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var cConn, sConn *transport.Conn
+					var closer io.Closer
+					if link.delay > 0 {
+						cConn, sConn, closer = latencyPipe(link.delay)
+					} else {
+						cConn, sConn, closer = transport.Pipe()
+					}
+					var wg sync.WaitGroup
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						st, err := srv.ServeSession(sConn)
+						if err != nil {
+							b.Error(err)
+							// Unblock the client side so a server-side
+							// regression fails the bench instead of
+							// wedging it.
+							closer.Close()
+							return
+						}
+						otExchanges += st.OTBatches
+					}()
+					if _, _, err := cli.InferBatch(cConn, xs[:batch]); err != nil {
+						closer.Close()
+						b.Fatal(err)
+					}
+					wg.Wait()
+					closer.Close()
+				}
+				b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "inf/s")
+				b.ReportMetric(float64(otExchanges)/float64(batch*b.N), "otExchanges/inf")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+			})
+		}
+	}
+}
+
 func nowNs() int64 { return time.Now().UnixNano() }

@@ -51,6 +51,7 @@ func main() {
 	model := flag.String("model", "small", "b1|b2|b3|b4|small")
 	seed := flag.Int64("seed", 1, "sample/weight seed")
 	n := flag.Int("n", 1, "client: inferences to run on one session")
+	batch := flag.Bool("batch", false, "client: fuse the -n samples into one batched inference (protocol v5)")
 	flag.Parse()
 
 	switch *role {
@@ -96,14 +97,24 @@ func main() {
 			}
 		}
 		start := time.Now()
-		labels, st, err := deepsecure.InferMany(deepsecure.NewConn(conn), xs)
+		var labels []int
+		var st *deepsecure.InferStats
+		if *batch {
+			labels, st, err = deepsecure.InferBatch(deepsecure.NewConn(conn), xs)
+		} else {
+			labels, st, err = deepsecure.InferMany(deepsecure.NewConn(conn), xs)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("labels: %v\n", labels)
 		elapsed := time.Since(start)
-		fmt.Printf("%d inference(s) on one session: %d AND gates, %.2f MB sent, %.2f MB received, %v (%.2f inf/s)\n",
-			st.Inferences, st.ANDGates, float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
+		mode := "inference(s) on one session"
+		if *batch {
+			mode = "inference(s) as one fused batch"
+		}
+		fmt.Printf("%d %s: %d AND gates, %.2f MB sent, %.2f MB received, %v (%.2f inf/s)\n",
+			st.Inferences, mode, st.ANDGates, float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
 			elapsed.Round(time.Millisecond), float64(st.Inferences)/elapsed.Seconds())
 
 	default:

@@ -58,6 +58,7 @@ func main() {
 	workers := flag.Int("workers", 0, "engine workers per session (0 = GOMAXPROCS, 1 = sequential)")
 	chunkKB := flag.Int("chunk-kb", 0, "garbled-table streaming chunk in KiB (0 = default 1024)")
 	pipeline := flag.Int("pipeline", 0, "in-flight inferences per session (0 = default 2, 1 = serial)")
+	maxBatch := flag.Int("max-batch", 0, "samples per fused batched inference (0 = default 32)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "per-session idle read deadline (0 disables)")
 	otPool := flag.Int("ot-pool", 1<<16, "random-OT pool capacity per session (0 = no precomputation, IKNP online)")
 	otLowWater := flag.Int("ot-low-water", 0, "refill the OT pool when fewer remain (0 = capacity/4)")
@@ -80,7 +81,8 @@ func main() {
 		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
 		deepsecure.WithIdleTimeout(*idle),
 		deepsecure.WithOTPool(poolCfg),
-		deepsecure.WithPipeline(*pipeline))
+		deepsecure.WithPipeline(*pipeline),
+		deepsecure.WithMaxBatch(*maxBatch))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,6 +101,8 @@ func main() {
 	} else {
 		log.Printf("cross-inference pipelining on: up to %d inference(s) in flight per session", depth)
 	}
+	log.Printf("batched inference: up to %d sample(s) per fused InferBatch call",
+		(deepsecure.EngineConfig{MaxBatch: *maxBatch}).MaxBatchSize())
 
 	if *statsEvery > 0 {
 		go func() {

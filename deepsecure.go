@@ -77,6 +77,10 @@ type (
 	// it has. Returned by Session.InferAsync, the cross-inference
 	// pipelining primitive.
 	PendingInference = core.PendingInference
+	// PendingBatch is a batched inference whose fused garbled stream is
+	// on the wire but whose results may not have returned yet; Wait
+	// blocks until they have. Returned by Session.InferBatchAsync.
+	PendingBatch = core.PendingBatch
 	// InferenceServer is a concurrent network service answering secure
 	// inference sessions with one shared compiled netlist.
 	InferenceServer = server.Server
@@ -85,9 +89,10 @@ type (
 	// EngineConfig tunes the level-scheduled execution engine: Workers
 	// sets the garble/evaluate pool size (0 derives it from GOMAXPROCS,
 	// 1 is the sequential mode), ChunkBytes the garbled-table streaming
-	// chunk, and Pipeline the cross-inference in-flight window (0
-	// defaults to DefaultPipelineDepth, 1 is serial). Set it on a
-	// Client, or pass it to NewServer via WithEngine.
+	// chunk, Pipeline the cross-inference in-flight window (0 defaults
+	// to DefaultPipelineDepth, 1 is serial), and MaxBatch the
+	// batched-inference sample cap (0 defaults to DefaultMaxBatch). Set
+	// it on a Client, or pass it to NewServer via WithEngine.
 	EngineConfig = core.EngineConfig
 	// PoolConfig sizes the offline random-OT pool (Beaver-style OT
 	// precomputation): Capacity random OTs are bulk-generated at session
@@ -124,11 +129,19 @@ var (
 	// evaluating and round-trip their output labels (1 = serial, 0 =
 	// DefaultPipelineDepth).
 	WithPipeline = server.WithPipeline
+	// WithMaxBatch sets the batched-inference sample cap the server
+	// announces and enforces: one InferBatch call fuses up to n samples
+	// into a single schedule walk and OT exchange (0 = DefaultMaxBatch).
+	WithMaxBatch = server.WithMaxBatch
 )
 
 // DefaultPipelineDepth is the in-flight window used when
 // EngineConfig.Pipeline is zero.
 const DefaultPipelineDepth = core.DefaultPipelineDepth
+
+// DefaultMaxBatch is the batched-inference sample cap used when
+// EngineConfig.MaxBatch is zero.
+const DefaultMaxBatch = core.DefaultMaxBatch
 
 // DefaultFormat is the paper's 1-sign/3-integer/12-fraction encoding.
 var DefaultFormat = fixed.Default
@@ -195,6 +208,20 @@ func Infer(conn *Conn, x []float64) (int, *InferStats, error) {
 func InferMany(conn *Conn, xs [][]float64) ([]int, *InferStats, error) {
 	c := &core.Client{}
 	return c.InferMany(conn, xs)
+}
+
+// InferBatch classifies every sample in ONE fused batched inference
+// (protocol v5): one session, one schedule walk, one interleaved
+// garbled-table stream, and one OT derandomization exchange per input
+// step for the whole batch — the embarrassingly parallel same-model
+// serving pattern. len(xs) must fit the negotiated batch cap
+// (DefaultMaxBatch unless configured via EngineConfig.MaxBatch /
+// WithMaxBatch); batching composes with pipelining, so larger workloads
+// can split into several InferBatch calls on an open Session. Returned
+// stats are session totals.
+func InferBatch(conn *Conn, xs [][]float64) ([]int, *InferStats, error) {
+	c := &core.Client{}
+	return c.InferBatch(conn, xs)
 }
 
 // OpenSession opens a multi-inference session on conn. The caller runs

@@ -78,6 +78,58 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 }
 
+// TestInferBatchFacade exercises the batched-inference facade: one
+// fused InferBatch call against a WithMaxBatch-configured server, with
+// every sample's label checked against the plaintext forward pass.
+func TestInferBatchFacade(t *testing.T) {
+	net, err := NewNetwork(Vec(6),
+		NewDense(5),
+		NewActivation(ReLU),
+		NewDense(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(8))
+	const b = 3
+	xs := make([][]float64, b)
+	want := make([]int, b)
+	for i := range xs {
+		xs[i] = make([]float64, 6)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+		want[i] = net.PredictFixed(DefaultFormat, xs[i])
+	}
+	cConn, sConn, closer := Pipe()
+	defer closer.Close()
+	srv := &SessionServer{Net: net, Fmt: DefaultFormat, Engine: EngineConfig{MaxBatch: b}}
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, srvErr = srv.ServeSession(sConn)
+	}()
+	labels, st, err := InferBatch(cConn, xs)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("serve: %v", srvErr)
+	}
+	if err != nil {
+		t.Fatalf("infer batch: %v", err)
+	}
+	for i := range labels {
+		if labels[i] != want[i] {
+			t.Fatalf("sample %d: secure label %d, plaintext %d", i, labels[i], want[i])
+		}
+	}
+	if st.Inferences != b {
+		t.Fatalf("stats count %d inferences, want %d", st.Inferences, b)
+	}
+}
+
 func TestProjectFacade(t *testing.T) {
 	set, err := datasets.Generate(datasets.Config{
 		Name: "api-proj", Dim: 32, Classes: 3, Rank: 6, Noise: 0.04,

@@ -58,6 +58,14 @@ type EngineConfig struct {
 	// window clients are validated against; a client's effective window
 	// is min(its own depth, the server's announcement).
 	Pipeline int
+	// MaxBatch bounds how many samples one batched inference
+	// (InferBatch, protocol v5) may fuse into a single schedule walk. A
+	// batch occupies one pipeline-window slot but needs B× the label and
+	// table memory of a single inference, so the server owns a policy
+	// cap announced alongside the window; a client's effective maximum
+	// is min(its own MaxBatch, the announcement). 0 defaults to
+	// DefaultMaxBatch; values clamp to [1, 256].
+	MaxBatch int
 }
 
 // DefaultPipelineDepth is the in-flight window applied when
@@ -94,6 +102,34 @@ func (c EngineConfig) pipeline() int {
 // configuration resolves to (defaults applied, clamped to [1, 32]) —
 // what a server announces and enforces.
 func (c EngineConfig) PipelineDepth() int { return c.pipeline() }
+
+// DefaultMaxBatch is the batched-inference sample cap applied when
+// EngineConfig.MaxBatch is zero.
+const DefaultMaxBatch = 32
+
+// maxBatchCap bounds the negotiable batch size so a misconfigured or
+// hostile peer cannot demand unbounded per-batch server state (labels
+// and tables scale linearly with B).
+const maxBatchCap = 256
+
+func (c EngineConfig) maxBatch() int {
+	b := c.MaxBatch
+	if b == 0 {
+		b = DefaultMaxBatch
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > maxBatchCap {
+		b = maxBatchCap
+	}
+	return b
+}
+
+// MaxBatchSize returns the effective batched-inference sample cap this
+// configuration resolves to (defaults applied, clamped to [1, 256]) —
+// what a server announces and enforces.
+func (c EngineConfig) MaxBatchSize() int { return c.maxBatch() }
 
 func (c EngineConfig) chunkBytes() int {
 	if c.ChunkBytes > 0 {
@@ -231,11 +267,18 @@ func (en *garbleEngine) doOutputs(st *circuit.Step) error {
 // grab returns an empty chunk buffer, recycling a spent one when the
 // writer has returned it.
 func (en *garbleEngine) grab() []byte {
+	return grabChunk(en.free, en.cfg.chunkBytes())
+}
+
+// grabChunk takes an empty chunk buffer from the recycle channel, or
+// allocates one sized for the streaming chunk plus slack (shared by the
+// single and batched garble engines).
+func grabChunk(free chan []byte, chunkBytes int) []byte {
 	select {
-	case buf := <-en.free:
+	case buf := <-free:
 		return buf
 	default:
-		return make([]byte, 0, en.cfg.chunkBytes()+en.cfg.chunkBytes()/4)
+		return make([]byte, 0, chunkBytes+chunkBytes/4)
 	}
 }
 
@@ -434,118 +477,156 @@ func (en *evalEngine) doOutputs(st *circuit.Step) error {
 	return nil
 }
 
-// doLevels evaluates one run of gate levels. With more than one worker, a
-// prefetch goroutine receives table frames into a bounded ring ahead of
-// the evaluate pool; with one worker, frames are received inline.
+// doLevels evaluates one run of gate levels, drawing each level's table
+// block from a tableRun (which prefetches frames on a goroutine when the
+// engine is parallel).
 func (en *evalEngine) doLevels(st *circuit.Step) error {
 	for _, w := range st.PreDrops {
 		en.e.Drop(w)
 	}
-	var frames chan []byte
-	var perr chan error
-	async := en.pool.Workers() > 1 && st.TableBytes > 0
-	if async {
-		frames = make(chan []byte, frameRingDepth)
-		perr = make(chan error, 1)
-		go func(total int) {
-			defer close(frames)
-			rem := total
-			for rem > 0 {
-				p, err := en.conn.Recv(transport.MsgTables)
-				if err != nil {
-					perr <- err
-					return
-				}
-				if len(p) > rem {
-					perr <- fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", len(p)-rem)
-					return
-				}
-				rem -= len(p)
-				frames <- p
-			}
-			perr <- nil
-		}(st.TableBytes)
-	}
-	// next yields the following table frame. In async mode a closed ring
-	// means the prefetcher exited early; it reports errPrefetchStopped
-	// and the cleanup below collects the prefetcher's actual verdict —
-	// perr carries exactly one value, consumed exactly once, down there.
-	next := func() ([]byte, error) {
-		if async {
-			p, ok := <-frames
-			if !ok {
-				return nil, errPrefetchStopped
-			}
-			return p, nil
-		}
-		return en.conn.Recv(transport.MsgTables)
-	}
-
-	pending := en.pending[:0]
-	off := 0
-	got := 0
+	tr := startTableRun(en.conn, en.pool.Workers() > 1, st.TableBytes, en.pending)
 	var err error
 	for li := st.First; li < st.First+st.N && err == nil; li++ {
 		lv := &en.sched.Levels[li]
 		ands, frees := en.sched.LevelGates(lv)
-		need := lv.ANDs * gc.TableSize
-		for len(pending)-off < need {
-			var p []byte
-			if p, err = next(); err != nil {
-				break
-			}
-			got += len(p)
-			if got > st.TableBytes {
-				err = fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", got-st.TableBytes)
-				break
-			}
-			if off > 0 && len(pending)+len(p) > cap(pending) {
-				// Compact consumed bytes instead of growing.
-				pending = pending[:copy(pending, pending[off:])]
-				off = 0
-			}
-			pending = append(pending, p...)
-		}
-		if err != nil {
+		var block []byte
+		if block, err = tr.level(lv.ANDs * gc.TableSize); err != nil {
 			break
 		}
-		if err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, pending[off:off+need], en.pool); err != nil {
+		if err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, block, en.pool); err != nil {
 			break
 		}
 		if en.progress != nil {
 			en.progress.Add(1)
 		}
-		off += need
 		for _, w := range lv.Drops {
 			en.e.Drop(w)
 		}
 	}
-	if err == nil && off != len(pending) {
-		err = fmt.Errorf("core: %d unconsumed garbled-table bytes at run boundary", len(pending)-off)
+	en.pending, err = tr.finish(err)
+	return err
+}
+
+// tableRun streams one level run's garbled tables to an evaluation
+// engine: constructed per StepLevels step with the run's total byte
+// budget (the schedule's TableBytes, scaled by the batch size for
+// batched inferences), it hands back exactly the requested bytes per
+// level. With async set, a prefetch goroutine receives table frames into
+// a bounded ring ahead of the evaluate pool — preserving the §3.5
+// bounded-memory property — while a sequential engine receives frames
+// inline. The pending buffer is recycled across runs and (through the
+// session's buffer pool) across inferences.
+type tableRun struct {
+	conn    transport.FrameConn
+	async   bool
+	total   int
+	pending []byte
+	off     int
+	got     int
+	frames  chan []byte
+	perr    chan error
+}
+
+func startTableRun(conn transport.FrameConn, async bool, total int, pending []byte) *tableRun {
+	tr := &tableRun{conn: conn, async: async && total > 0, total: total, pending: pending[:0]}
+	if tr.async {
+		tr.frames = make(chan []byte, frameRingDepth)
+		tr.perr = make(chan error, 1)
+		go func(total int) {
+			defer close(tr.frames)
+			rem := total
+			for rem > 0 {
+				p, err := tr.conn.Recv(transport.MsgTables)
+				if err != nil {
+					tr.perr <- err
+					return
+				}
+				if len(p) > rem {
+					tr.perr <- fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", len(p)-rem)
+					return
+				}
+				rem -= len(p)
+				tr.frames <- p
+			}
+			tr.perr <- nil
+		}(total)
 	}
-	if async {
+	return tr
+}
+
+// next yields the following table frame. In async mode a closed ring
+// means the prefetcher exited early; it reports errPrefetchStopped and
+// finish collects the prefetcher's actual verdict — perr carries exactly
+// one value, consumed exactly once, there.
+func (tr *tableRun) next() ([]byte, error) {
+	if tr.async {
+		p, ok := <-tr.frames
+		if !ok {
+			return nil, errPrefetchStopped
+		}
+		return p, nil
+	}
+	return tr.conn.Recv(transport.MsgTables)
+}
+
+// level returns the next need contiguous bytes of the run's table
+// stream, receiving frames until they cover the request.
+func (tr *tableRun) level(need int) ([]byte, error) {
+	pending, off := tr.pending, tr.off
+	for len(pending)-off < need {
+		p, err := tr.next()
+		if err != nil {
+			tr.pending = pending
+			tr.off = off
+			return nil, err
+		}
+		tr.got += len(p)
+		if tr.got > tr.total {
+			tr.pending = pending
+			tr.off = off
+			return nil, fmt.Errorf("core: garbled-table overrun (%d surplus bytes in run)", tr.got-tr.total)
+		}
+		if off > 0 && len(pending)+len(p) > cap(pending) {
+			// Compact consumed bytes instead of growing.
+			pending = pending[:copy(pending, pending[off:])]
+			off = 0
+		}
+		pending = append(pending, p...)
+	}
+	tr.pending = pending
+	tr.off = off + need
+	return pending[off : off+need], nil
+}
+
+// finish validates the run's stream accounting and drains the
+// prefetcher; err is the level loop's verdict. It returns the recycled
+// pending buffer and the run's final error.
+func (tr *tableRun) finish(err error) ([]byte, error) {
+	if err == nil && tr.off != len(tr.pending) {
+		err = fmt.Errorf("core: %d unconsumed garbled-table bytes at run boundary", len(tr.pending)-tr.off)
+	}
+	if tr.async {
 		// Drain the ring so the prefetcher can exit, then collect its
 		// verdict (the channel's single value); it must not outlive the
 		// run holding the connection.
-		for range frames {
+		for range tr.frames {
 		}
-		perr2 := <-perr
+		perr := <-tr.perr
 		switch {
 		case err == errPrefetchStopped:
 			// The ring closed under the main loop: the prefetcher's
 			// error is the real one (a nil verdict here would mean the
 			// run's table accounting is inconsistent).
-			err = perr2
+			err = perr
 			if err == nil {
-				err = fmt.Errorf("core: table stream ended %d bytes short of the run's %d", got, st.TableBytes)
+				err = fmt.Errorf("core: table stream ended %d bytes short of the run's %d", tr.got, tr.total)
 			}
-		case err == nil && perr2 != nil:
-			err = perr2
+		case err == nil && perr != nil:
+			err = perr
 		}
-		if err == nil && got != st.TableBytes {
-			err = fmt.Errorf("core: run received %d table bytes, want %d", got, st.TableBytes)
+		if err == nil && tr.got != tr.total {
+			err = fmt.Errorf("core: run received %d table bytes, want %d", tr.got, tr.total)
 		}
 	}
-	en.pending = pending[:0]
-	return err
+	return tr.pending[:0], err
 }

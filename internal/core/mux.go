@@ -132,11 +132,21 @@ func recvRouted(flush func() error, ch <-chan frame, stop <-chan struct{}, scope
 
 // evalCtx is one in-flight inference on the server: its routed frame
 // inbox and its death marker (closed when the context goroutine exits,
-// so the reader stops routing to it).
+// so the reader stops routing to it). batch is the fused sample count
+// of a batched (MsgBatchBegin) sub-stream, 0 for a single inference.
 type evalCtx struct {
 	id    uint64
+	batch int
 	inbox chan frame
 	dead  chan struct{}
+}
+
+// samples returns how many inferences this context settles.
+func (c *evalCtx) samples() int64 {
+	if c.batch > 0 {
+		return int64(c.batch)
+	}
+	return 1
 }
 
 // ctxConn is an evalCtx's view of the session connection: receives come
@@ -149,7 +159,11 @@ type ctxConn struct {
 
 func (v *ctxConn) Send(t transport.MsgType, payload []byte) error {
 	if t == transport.MsgOutputLabels {
-		return v.m.mc.sendTagged(transport.MsgInferOutputs, v.c.id, payload)
+		out := transport.MsgInferOutputs
+		if v.c.batch > 0 {
+			out = transport.MsgBatchOutputs
+		}
+		return v.m.mc.sendTagged(out, v.c.id, payload)
 	}
 	return v.m.mc.Send(t, payload)
 }
@@ -166,12 +180,17 @@ func (v *ctxConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []byte,
 }
 
 // muxEvent is a completion notification to the session's main loop.
+// inferences is the settled sample count of a finished context (B for a
+// batch, 1 for a single inference), counted only on success.
 type muxEvent struct {
 	readerDone bool
+	inferences int64
 	err        error
 }
 
-// sessionMux runs one demultiplexed v4 session on the server.
+// sessionMux runs one demultiplexed v4/v5 session on the server:
+// single-inference (MsgInfer*) and batched (MsgBatch*) sub-streams
+// share the window, the routing, and the OT order.
 type sessionMux struct {
 	srv   *Server
 	conn  *transport.Conn
@@ -189,7 +208,8 @@ type sessionMux struct {
 	stop    chan struct{}
 	ctxs    map[uint64]*evalCtx
 	pools   chan *gc.Pool
-	spawned int // reader-owned until readerDone, then main-owned
+	bufs    chan []byte // recycled table-pending buffers, see getBuf
+	spawned int         // reader-owned until readerDone, then main-owned
 
 	// In-flight accounting for Stats: time with ≥2 inferences active is
 	// the session's measured overlap.
@@ -224,6 +244,7 @@ func newSessionMux(srv *Server, conn *transport.Conn, mc *muxConn, otp *precomp.
 		stop:       mc.stop,
 		ctxs:       make(map[uint64]*evalCtx, depth),
 		pools:      make(chan *gc.Pool, depth),
+		bufs:       make(chan []byte, depth),
 	}
 }
 
@@ -259,7 +280,7 @@ func (m *sessionMux) run(st *Stats) error {
 			done++
 			switch {
 			case ev.err == nil:
-				st.Inferences++
+				st.Inferences += ev.inferences
 			case errors.Is(ev.err, errSessionTorn) || errors.Is(ev.err, precomp.ErrSequencerAborted):
 				if tornErr == nil {
 					tornErr = ev.err
@@ -335,16 +356,25 @@ func (m *sessionMux) readLoop() {
 				err = fmt.Errorf("core: malformed infer-begin payload (%d bytes)", len(payload))
 				break
 			}
-			if err = m.win.Begin(id); err != nil {
+			err = m.beginCtx(id, 0)
+		case transport.MsgBatchBegin:
+			id, n := binary.Uvarint(payload)
+			if n <= 0 {
+				err = fmt.Errorf("core: malformed batch-begin payload (%d bytes)", len(payload))
 				break
 			}
-			m.beginInFlight()
-			c := &evalCtx{id: id, inbox: make(chan frame, 4), dead: make(chan struct{})}
-			m.pruneCtxs()
-			m.ctxs[id] = c
-			m.spawned++
-			go m.runCtx(c)
-		case transport.MsgInferConst, transport.MsgInferInputs, transport.MsgInferTables:
+			bsz, n2 := binary.Uvarint(payload[n:])
+			if n2 <= 0 || n+n2 != len(payload) || bsz < 1 {
+				err = fmt.Errorf("core: malformed batch-begin payload (%d bytes)", len(payload))
+				break
+			}
+			if max := uint64(m.cfg.maxBatch()); bsz > max {
+				err = fmt.Errorf("core: batch of %d samples exceeds the announced maximum %d", bsz, max)
+				break
+			}
+			err = m.beginCtx(id, int(bsz))
+		case transport.MsgInferConst, transport.MsgInferInputs, transport.MsgInferTables,
+			transport.MsgBatchConst, transport.MsgBatchInputs, transport.MsgBatchTables:
 			var id uint64
 			var content []byte
 			id, content, err = transport.SplitTag(payload)
@@ -357,6 +387,11 @@ func (m *sessionMux) readLoop() {
 			c := m.ctxs[id]
 			if c == nil {
 				err = fmt.Errorf("core: no context for in-window inference %d", id)
+				break
+			}
+			if batchFrame := typ == transport.MsgBatchConst || typ == transport.MsgBatchInputs ||
+				typ == transport.MsgBatchTables; batchFrame != (c.batch > 0) {
+				err = fmt.Errorf("core: %v frame for inference %d does not match its sub-stream kind", typ, id)
 				break
 			}
 			f := frame{logicalType(typ), content}
@@ -397,7 +432,7 @@ func (m *sessionMux) readLoop() {
 				err = fmt.Errorf("core: unsolicited %v frame", typ)
 			}
 		default:
-			err = fmt.Errorf("core: unexpected %v frame on a v4 session", typ)
+			err = fmt.Errorf("core: unexpected %v frame on a v5 session", typ)
 		}
 	}
 	// Unblock everything still waiting on routed frames. Only the reader
@@ -409,15 +444,30 @@ func (m *sessionMux) readLoop() {
 	m.emit(muxEvent{readerDone: true, err: err})
 }
 
-// logicalType maps a tagged v4 frame type to the logical protocol type
-// the engines were written against.
+// beginCtx admits a new inference sub-stream (batch = 0 for a single
+// inference, the fused sample count otherwise) and spawns its context.
+func (m *sessionMux) beginCtx(id uint64, batch int) error {
+	if err := m.win.Begin(id); err != nil {
+		return err
+	}
+	m.beginInFlight()
+	c := &evalCtx{id: id, batch: batch, inbox: make(chan frame, 4), dead: make(chan struct{})}
+	m.pruneCtxs()
+	m.ctxs[id] = c
+	m.spawned++
+	go m.runCtx(c)
+	return nil
+}
+
+// logicalType maps a tagged v4/v5 frame type to the logical protocol
+// type the engines were written against.
 func logicalType(t transport.MsgType) transport.MsgType {
 	switch t {
-	case transport.MsgInferConst:
+	case transport.MsgInferConst, transport.MsgBatchConst:
 		return transport.MsgConstLabels
-	case transport.MsgInferInputs:
+	case transport.MsgInferInputs, transport.MsgBatchInputs:
 		return transport.MsgInputLabels
-	case transport.MsgInferTables:
+	case transport.MsgInferTables, transport.MsgBatchTables:
 		return transport.MsgTables
 	default:
 		return t
@@ -477,53 +527,129 @@ func (m *sessionMux) putPool(p *gc.Pool) {
 	}
 }
 
+// getBuf takes a recycled table-pending buffer (the evaluation engine's
+// level-assembly scratch) or starts a fresh one; up to window-depth
+// buffers circulate, so a long session reallocates none after warm-up
+// instead of growing a new chunk-sized buffer per inference.
+func (m *sessionMux) getBuf() []byte {
+	select {
+	case b := <-m.bufs:
+		return b
+	default:
+		return nil
+	}
+}
+
+func (m *sessionMux) putBuf(b []byte) {
+	// Only single-inference-scale scratch is worth keeping: a large
+	// batch grows its pending buffer B× past the chunk size, and
+	// recycling that would pin batch-sized memory for the session's
+	// lifetime just to hand it to every later single inference.
+	if b == nil || cap(b) > 4*m.cfg.chunkBytes() {
+		return
+	}
+	select {
+	case m.bufs <- b[:0]:
+	default:
+	}
+}
+
 // runCtx executes one inference's evaluation to completion and reports
 // the outcome to the session's main loop.
 func (m *sessionMux) runCtx(c *evalCtx) {
 	err := m.serveInference(c)
 	m.endInFlight()
 	close(c.dead)
-	m.emit(muxEvent{err: err})
+	m.emit(muxEvent{err: err, inferences: c.samples()})
 }
 
 // serveInference is the per-context body: the pipelined analogue of the
-// serial path's serveOne, running the evaluation engine over the
-// context's routed frames.
+// serial path's serveOne, running the evaluation engine (single or
+// fused-batch) over the context's routed frames.
 func (m *sessionMux) serveInference(c *evalCtx) error {
 	view := &ctxConn{m: m, c: c}
 	constLabels, err := view.Recv(transport.MsgConstLabels)
 	if err != nil {
 		return err
 	}
-	if len(constLabels) != 2*gc.LabelSize {
-		return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
-	}
-	e := gc.NewEvaluator()
-	var lf, lt gc.Label
-	copy(lf[:], constLabels[:gc.LabelSize])
-	copy(lt[:], constLabels[gc.LabelSize:])
-	e.SetLabel(circuit.WFalse, lf)
-	e.SetLabel(circuit.WTrue, lt)
 	pool := m.getPool()
 	defer m.putPool(pool)
-	en := &evalEngine{
-		sched:     m.sched,
-		e:         e,
-		pool:      pool,
-		conn:      view,
-		ots:       m.otp,
-		cfg:       m.cfg,
-		inputBits: m.weightBits,
-		seq:       m.seqr,
-		seqTurn:   int64(c.id),
-		evalSteps: m.evalSteps,
-		progress:  &m.conn.Progress,
+
+	// The two evaluator kinds share everything but the label state:
+	// install the const labels per kind, then run and recycle through
+	// one epilogue (run/putBuf/outLabels pointers come from whichever
+	// engine the branch built).
+	var run func() error
+	var pendingRef *[]byte
+	var outRef *[]gc.Label
+	if c.batch > 0 {
+		// Batched sub-stream: const labels arrive wire-major (the B
+		// false-labels, then the B true-labels), like every batch frame.
+		if len(constLabels) != 2*c.batch*gc.LabelSize {
+			return fmt.Errorf("core: batch const-label frame has %d bytes, want %d",
+				len(constLabels), 2*c.batch*gc.LabelSize)
+		}
+		e, err := gc.NewBatchEvaluator(c.batch)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < c.batch; s++ {
+			var lf, lt gc.Label
+			copy(lf[:], constLabels[s*gc.LabelSize:])
+			copy(lt[:], constLabels[(c.batch+s)*gc.LabelSize:])
+			e.SetLabel(circuit.WFalse, s, lf)
+			e.SetLabel(circuit.WTrue, s, lt)
+		}
+		en := &batchEvalEngine{
+			sched:     m.sched,
+			e:         e,
+			pool:      pool,
+			conn:      view,
+			ots:       m.otp,
+			cfg:       m.cfg,
+			b:         c.batch,
+			inputBits: m.weightBits,
+			seq:       m.seqr,
+			seqTurn:   int64(c.id),
+			evalSteps: m.evalSteps,
+			progress:  &m.conn.Progress,
+			pending:   m.getBuf(),
+		}
+		run, pendingRef, outRef = en.run, &en.pending, &en.outLabels
+	} else {
+		if len(constLabels) != 2*gc.LabelSize {
+			return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
+		}
+		e := gc.NewEvaluator()
+		var lf, lt gc.Label
+		copy(lf[:], constLabels[:gc.LabelSize])
+		copy(lt[:], constLabels[gc.LabelSize:])
+		e.SetLabel(circuit.WFalse, lf)
+		e.SetLabel(circuit.WTrue, lt)
+		en := &evalEngine{
+			sched:     m.sched,
+			e:         e,
+			pool:      pool,
+			conn:      view,
+			ots:       m.otp,
+			cfg:       m.cfg,
+			inputBits: m.weightBits,
+			seq:       m.seqr,
+			seqTurn:   int64(c.id),
+			evalSteps: m.evalSteps,
+			progress:  &m.conn.Progress,
+			pending:   m.getBuf(),
+		}
+		run, pendingRef, outRef = en.run, &en.pending, &en.outLabels
 	}
-	if err := en.run(); err != nil {
+	err = run()
+	m.putBuf(*pendingRef)
+	if err != nil {
 		return err
 	}
-	payload := make([]byte, 0, len(en.outLabels)*gc.LabelSize)
-	for _, l := range en.outLabels {
+	outLabels := *outRef
+	payload := make([]byte, 0, len(outLabels)*gc.LabelSize)
+	for _, l := range outLabels {
 		payload = append(payload, l[:]...)
 	}
 	// Retire the window slot BEFORE the output labels can reach the

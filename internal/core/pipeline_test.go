@@ -45,14 +45,15 @@ func parseFrames(t *testing.T, raw []byte) []wireFrame {
 	return out
 }
 
-// stripV4 reduces one direction of a v4 session's frame stream to its v3
-// content: session and sub-stream framing is dropped (hello / arch /
-// pipeline / begin / end — after validating payloads and tags), tagged
-// per-inference frames map to their untagged v3 types with the tag
-// removed, and OT frames pass through. The garbler streams inferences
-// serially, so its tagged frames must carry the latest begun id; the
-// evaluator's output frames must tag inferences in completion order
-// (sequential on a depth-1 session).
+// stripV4 reduces one direction of a v4/v5 session's frame stream to
+// its v3 content: session and sub-stream framing is dropped (hello /
+// arch / pipeline / begin / end — after validating payloads and tags),
+// tagged per-inference frames — the MsgInfer* single sub-streams and
+// the MsgBatch* batched ones alike — map to their untagged v3 types
+// with the tag removed, and OT frames pass through. The garbler streams
+// inferences serially, so its tagged frames must carry the latest begun
+// id; the evaluator's output frames must tag inferences in completion
+// order (sequential on a depth-1 session).
 func stripV4(t *testing.T, frames []wireFrame) []wireFrame {
 	t.Helper()
 	var out []wireFrame
@@ -72,13 +73,17 @@ func stripV4(t *testing.T, frames []wireFrame) []wireFrame {
 	for _, f := range frames {
 		switch f.typ {
 		case transport.MsgHello:
-			if string(f.payload) != "deepsecure/4" {
+			if string(f.payload) != "deepsecure/5" {
 				t.Fatalf("hello = %q", f.payload)
 			}
 		case transport.MsgArch, transport.MsgEndSession:
 		case transport.MsgPipeline:
 			d, n := binary.Uvarint(f.payload)
-			if n != len(f.payload) || d < 1 {
+			if n <= 0 || d < 1 {
+				t.Fatalf("malformed pipeline payload %v", f.payload)
+			}
+			mb, n2 := binary.Uvarint(f.payload[n:])
+			if n2 <= 0 || n+n2 != len(f.payload) || mb < 1 {
 				t.Fatalf("malformed pipeline payload %v", f.payload)
 			}
 		case transport.MsgInferBegin:
@@ -88,13 +93,24 @@ func stripV4(t *testing.T, frames []wireFrame) []wireFrame {
 			}
 			cur = id
 			nextBegin++
-		case transport.MsgInferConst:
+		case transport.MsgBatchBegin:
+			id, n := binary.Uvarint(f.payload)
+			if n <= 0 || id != nextBegin {
+				t.Fatalf("batch-begin payload %v, want id %d", f.payload, nextBegin)
+			}
+			bsz, n2 := binary.Uvarint(f.payload[n:])
+			if n2 <= 0 || n+n2 != len(f.payload) || bsz < 1 {
+				t.Fatalf("batch-begin payload %v carries no valid batch size", f.payload)
+			}
+			cur = id
+			nextBegin++
+		case transport.MsgInferConst, transport.MsgBatchConst:
 			out = append(out, strip(f, transport.MsgConstLabels, cur))
-		case transport.MsgInferInputs:
+		case transport.MsgInferInputs, transport.MsgBatchInputs:
 			out = append(out, strip(f, transport.MsgInputLabels, cur))
-		case transport.MsgInferTables:
+		case transport.MsgInferTables, transport.MsgBatchTables:
 			out = append(out, strip(f, transport.MsgTables, cur))
-		case transport.MsgInferOutputs:
+		case transport.MsgInferOutputs, transport.MsgBatchOutputs:
 			out = append(out, strip(f, transport.MsgOutputLabels, nextOut))
 			nextOut++
 		default:

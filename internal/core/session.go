@@ -37,18 +37,21 @@ import (
 	"deepsecure/internal/transport"
 )
 
-// protocolHello identifies the session protocol. Version 4 adds
-// cross-inference pipelining to version 3's offline OT precomputation:
-// the server announces an in-flight window after the architecture
-// (MsgPipeline), each inference runs as a tagged sub-stream
-// (MsgInferBegin + MsgInfer* frames carrying a uvarint inference id),
-// and with a window deeper than 1 the client garbles inference k+1 while
-// inference k's output round-trip is still pending. OT frames stay
-// untagged — the pool's strict FIFO order already serializes them into
-// the inference-id order both parties derive independently. At depth 1
-// the frame contents are byte-identical to the serial v3 protocol modulo
-// the tags (pinned by TestPipelineDepth1Conformance).
-const protocolHello = "deepsecure/4"
+// protocolHello identifies the session protocol. Version 5 adds batched
+// inference to version 4's cross-inference pipelining: a MsgBatchBegin
+// sub-stream fuses B independent samples into one schedule walk — one
+// tagged stream of interleaved per-level tables, and one OT
+// derandomization exchange per input step covering all B samples
+// (collapsing 2·B round-trips to 2 per batch) — occupying a single slot
+// of the pipeline window. The server's MsgPipeline announcement now
+// carries two uvarints: the in-flight window depth and the batch-size
+// cap. Single inferences still run as v4 MsgInfer* sub-streams,
+// byte-identical to v4 modulo the handshake (and a B=1 batch is
+// byte-identical to a single inference modulo framing, pinned by
+// TestBatchSize1Conformance). OT frames stay untagged — the pool's
+// strict FIFO order already serializes them into the inference-id order
+// both parties derive independently.
+const protocolHello = "deepsecure/5"
 
 // Stats summarizes one secure inference — or, for session-level calls, a
 // whole session of them.
@@ -199,9 +202,12 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	if err := conn.Send(transport.MsgArch, spec); err != nil {
 		return finish(), err
 	}
-	// In-flight window announcement: the server owns the depth policy,
-	// clients clamp their own pipelining to it.
-	if err := conn.Send(transport.MsgPipeline, transport.AppendTag(nil, uint64(s.Engine.pipeline()))); err != nil {
+	// In-flight window and batch-cap announcement: the server owns both
+	// policies, clients clamp their own pipelining and batching to them.
+	plBuf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	plBuf = transport.AppendTag(plBuf, uint64(s.Engine.pipeline()))
+	plBuf = transport.AppendTag(plBuf, uint64(s.Engine.maxBatch()))
+	if err := conn.Send(transport.MsgPipeline, plBuf); err != nil {
 		return finish(), err
 	}
 	prog, err := s.Program()
@@ -314,19 +320,24 @@ type Session struct {
 	// (min of this client's EngineConfig.Pipeline and the server's
 	// MsgPipeline announcement), nextID the sequential id of the next
 	// inference sub-stream, and inflight the garbled-but-unresolved
-	// inferences, oldest first.
+	// inferences, oldest first. maxBatch is the negotiated
+	// batched-inference sample cap (a batch occupies one window slot).
 	window   int
+	maxBatch int
 	nextID   uint64
 	inflight []*PendingInference
 
 	// The session's garbling engine state, reused across inferences: the
 	// worker pool (with its per-worker hashers), the recycled table-chunk
-	// ring, and the label payload buffer.
+	// ring, the label payload buffer, and the begin-frame tag scratch
+	// (pre-sized so AppendTag never reallocates on the per-inference
+	// path).
 	cfg      EngineConfig
 	pool     *gc.Pool
 	freeBufs chan []byte
 	chunkBuf []byte
 	labelBuf []byte
+	tagBuf   []byte
 }
 
 // clientOTConn is the client session's OT-protocol face: a passthrough
@@ -350,16 +361,16 @@ func (v clientOTConn) Recv(want transport.MsgType) ([]byte, error) {
 func (v clientOTConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []byte, error) {
 	// Stack-allocated want set for the per-batch hot path (the pools ask
 	// for at most three types).
-	var buf [4]transport.MsgType
+	var buf [5]transport.MsgType
 	wants := append(buf[:0], want...)
-	wants = append(wants, transport.MsgInferOutputs)
+	wants = append(wants, transport.MsgInferOutputs, transport.MsgBatchOutputs)
 	for {
 		typ, p, err := v.s.conn.RecvAny(wants...)
 		if err != nil {
 			return 0, nil, err
 		}
-		if typ == transport.MsgInferOutputs {
-			if err := v.s.resolveOutput(p); err != nil {
+		if typ == transport.MsgInferOutputs || typ == transport.MsgBatchOutputs {
+			if err := v.s.resolveOutput(typ, p); err != nil {
 				return 0, nil, err
 			}
 			continue
@@ -368,23 +379,35 @@ func (v clientOTConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []b
 	}
 }
 
-// garbleConn is the garble engine's view for one inference sub-stream:
-// per-inference frames go out tagged with the inference id, OT frames
-// pass through untagged, and receives route through the output-resolving
-// OT face.
+// garbleConn is the garble engine's view for one inference sub-stream,
+// single or batched: the engine's logical frames go out tagged with the
+// inference id as the sub-stream's const/inputs/tables variants, OT
+// frames pass through untagged, and receives route through the
+// output-resolving OT face.
 type garbleConn struct {
 	s  *Session
 	id uint64
+	// The sub-stream's tagged frame-type triple: MsgInfer* for a single
+	// inference, MsgBatch* for a batch.
+	constT, inputsT, tablesT transport.MsgType
+}
+
+func singleGarbleConn(s *Session, id uint64) garbleConn {
+	return garbleConn{s, id, transport.MsgInferConst, transport.MsgInferInputs, transport.MsgInferTables}
+}
+
+func batchGarbleConn(s *Session, id uint64) garbleConn {
+	return garbleConn{s, id, transport.MsgBatchConst, transport.MsgBatchInputs, transport.MsgBatchTables}
 }
 
 func (v garbleConn) Send(t transport.MsgType, payload []byte) error {
 	switch t {
 	case transport.MsgConstLabels:
-		return v.s.conn.SendTagged(transport.MsgInferConst, v.id, payload)
+		return v.s.conn.SendTagged(v.constT, v.id, payload)
 	case transport.MsgInputLabels:
-		return v.s.conn.SendTagged(transport.MsgInferInputs, v.id, payload)
+		return v.s.conn.SendTagged(v.inputsT, v.id, payload)
 	case transport.MsgTables:
-		return v.s.conn.SendTagged(transport.MsgInferTables, v.id, payload)
+		return v.s.conn.SendTagged(v.tablesT, v.id, payload)
 	default:
 		return v.s.conn.Send(t, payload)
 	}
@@ -427,7 +450,11 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		return nil, err
 	}
 	announced, n := binary.Uvarint(plPayload)
-	if n <= 0 || n != len(plPayload) || announced < 1 {
+	if n <= 0 || announced < 1 {
+		return nil, fmt.Errorf("core: malformed pipeline announcement (%d bytes)", len(plPayload))
+	}
+	announcedBatch, n2 := binary.Uvarint(plPayload[n:])
+	if n2 <= 0 || n+n2 != len(plPayload) || announcedBatch < 1 {
 		return nil, fmt.Errorf("core: malformed pipeline announcement (%d bytes)", len(plPayload))
 	}
 	prog, err := c.program(specData, net, spec.Format)
@@ -437,6 +464,10 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	window := c.Engine.pipeline()
 	if announced < uint64(window) {
 		window = int(announced)
+	}
+	maxBatch := c.Engine.maxBatch()
+	if announcedBatch < uint64(maxBatch) {
+		maxBatch = int(announcedBatch)
 	}
 	s := &Session{
 		conn:     conn,
@@ -448,10 +479,12 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		recv0:    recv0,
 		inputLen: net.In.Len(),
 		window:   window,
+		maxBatch: maxBatch,
 		nextID:   1,
 		cfg:      c.Engine,
 		pool:     gc.NewPool(c.Engine.workers()),
 		freeBufs: make(chan []byte, 3),
+		tagBuf:   make([]byte, 0, 2*binary.MaxVarintLen64),
 	}
 	baseStart := time.Now()
 	ots, err := ot.NewExtSender(clientOTConn{s}, rng)
@@ -477,22 +510,38 @@ func (s *Session) InputLen() int { return s.inputLen }
 // Window returns the session's negotiated in-flight inference cap.
 func (s *Session) Window() int { return s.window }
 
+// MaxBatch returns the session's negotiated batched-inference sample
+// cap (min of this client's EngineConfig.MaxBatch and the server's
+// announcement).
+func (s *Session) MaxBatch() int { return s.maxBatch }
+
 // PendingInference is an inference whose garbled stream is on the wire
 // but whose output labels may not have returned yet. Wait blocks until
-// the result is in, driving the session's receive side as needed.
+// the result is in, driving the session's receive side as needed. The
+// same structure backs batched inferences (batch > 1, wrapped in a
+// PendingBatch): outZero is wire-major with samples innermost and
+// deltas holds each sample's Free-XOR offset.
 type PendingInference struct {
 	s       *Session
 	id      uint64
-	g       *gc.Garbler
+	batch   int
+	batched bool // opened as a MsgBatchBegin sub-stream
+	deltas  []gc.Label
 	outZero []gc.Label
 	start   time.Time
 	sent0   int64
 	recv0   int64
 	ot0     precomp.Stats
 
-	done  bool
-	label int
-	st    *Stats
+	// Gate counters captured at garble time (the garbler itself, with
+	// its schedule-sized label array, is released as soon as the stream
+	// is flushed).
+	andGates  int64
+	freeGates int64
+
+	done   bool
+	labels []int
+	st     *Stats
 }
 
 // Wait returns the inference label (which only the client learns) and
@@ -501,16 +550,23 @@ type PendingInference struct {
 // inferences' traffic overlaps in them; Duration likewise includes the
 // overlapped wall time.
 func (p *PendingInference) Wait() (int, *Stats, error) {
+	if err := p.wait(); err != nil {
+		return 0, nil, err
+	}
+	return p.labels[0], p.st, nil
+}
+
+func (p *PendingInference) wait() error {
 	for !p.done {
 		if p.s.failed {
-			return 0, nil, errors.New("core: session is broken by an earlier protocol error")
+			return errors.New("core: session is broken by an earlier protocol error")
 		}
 		if err := p.s.resolveNext(); err != nil {
 			p.s.failed = true
-			return 0, nil, err
+			return err
 		}
 	}
-	return p.label, p.st, nil
+	return nil
 }
 
 // Done reports whether the result is already in (Wait will not block).
@@ -519,18 +575,19 @@ func (p *PendingInference) Done() bool { return p.done }
 // resolveNext reads the next output-label frame and resolves the
 // in-flight inference it belongs to.
 func (s *Session) resolveNext() error {
-	payload, err := s.conn.Recv(transport.MsgInferOutputs)
+	typ, payload, err := s.conn.RecvAny(transport.MsgInferOutputs, transport.MsgBatchOutputs)
 	if err != nil {
 		return err
 	}
-	return s.resolveOutput(payload)
+	return s.resolveOutput(typ, payload)
 }
 
 // resolveOutput authenticates one output-label frame against its
 // in-flight inference and settles the result (§2.2.2 step iv): a
 // tampered or corrupted evaluation cannot yield a silently wrong label,
-// it fails here.
-func (s *Session) resolveOutput(payload []byte) error {
+// it fails here. Batched inferences resolve all B sample labels from
+// their single MsgBatchOutputs frame (wire-major, samples innermost).
+func (s *Session) resolveOutput(typ transport.MsgType, payload []byte) error {
 	id, content, err := transport.SplitTag(payload)
 	if err != nil {
 		return err
@@ -546,42 +603,44 @@ func (s *Session) resolveOutput(payload []byte) error {
 		return fmt.Errorf("core: output frame for unknown inference %d", id)
 	}
 	p := s.inflight[idx]
+	if p.batched != (typ == transport.MsgBatchOutputs) {
+		return fmt.Errorf("core: %v frame for inference %d does not match its sub-stream kind", typ, id)
+	}
 	if len(content) != len(p.outZero)*gc.LabelSize {
 		return fmt.Errorf("core: output-label frame has %d bytes, want %d",
 			len(content), len(p.outZero)*gc.LabelSize)
 	}
-	label := 0
-	for i := range p.outZero {
-		var l gc.Label
-		copy(l[:], content[i*gc.LabelSize:])
-		switch l {
-		case p.outZero[i]:
-			// bit 0
-		case p.outZero[i].XOR(p.g.R):
-			label |= 1 << uint(i)
-		default:
-			return fmt.Errorf("core: output label %d of inference %d failed authentication", i, id)
+	labels := make([]int, p.batch)
+	outWires := len(p.outZero) / p.batch
+	for i := 0; i < outWires; i++ {
+		for sm := 0; sm < p.batch; sm++ {
+			var l gc.Label
+			copy(l[:], content[(i*p.batch+sm)*gc.LabelSize:])
+			switch l {
+			case p.outZero[i*p.batch+sm]:
+				// bit 0
+			case p.outZero[i*p.batch+sm].XOR(p.deltas[sm]):
+				labels[sm] |= 1 << uint(i)
+			default:
+				return fmt.Errorf("core: output label %d of inference %d (sample %d) failed authentication", i, id, sm)
+			}
 		}
 	}
 	s.inflight = append(s.inflight[:idx], s.inflight[idx+1:]...)
-	p.label = label
+	p.labels = labels
 	p.st = &Stats{
 		BytesSent:     s.conn.BytesSent.Load() - p.sent0,
 		BytesReceived: s.conn.BytesReceived.Load() - p.recv0,
 		Duration:      time.Since(p.start),
-		ANDGates:      p.g.ANDGates,
-		FreeGates:     p.g.FreeGates,
-		Inferences:    1,
+		ANDGates:      p.andGates,
+		FreeGates:     p.freeGates,
+		Inferences:    int64(p.batch),
 	}
 	p.st.addOT(otDelta(s.ots.Stats(), p.ot0))
 	p.done = true
-	s.inferences++
-	s.andGates += p.g.ANDGates
-	s.freeGates += p.g.FreeGates
-	// The garbler (with its schedule-sized label array) is only needed
-	// until the outputs authenticate; drop it so callers holding a batch
-	// of resolved PendingInferences don't retain one per sample.
-	p.g = nil
+	s.inferences += int64(p.batch)
+	s.andGates += p.andGates
+	s.freeGates += p.freeGates
 	return nil
 }
 
@@ -624,12 +683,14 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	p := &PendingInference{
 		s:     s,
 		id:    id,
+		batch: 1,
 		start: time.Now(),
 		sent0: s.conn.BytesSent.Load(),
 		recv0: s.conn.BytesReceived.Load(),
 		ot0:   s.ots.Stats(),
 	}
-	if err := s.conn.Send(transport.MsgInferBegin, transport.AppendTag(nil, id)); err != nil {
+	s.tagBuf = transport.AppendTag(s.tagBuf[:0], id)
+	if err := s.conn.Send(transport.MsgInferBegin, s.tagBuf); err != nil {
 		return fail(err)
 	}
 	// Fresh garbling state per inference: a new Free-XOR delta and new
@@ -650,7 +711,7 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 		sched:     s.prog.Schedule,
 		g:         g,
 		pool:      s.pool,
-		conn:      garbleConn{s, id},
+		conn:      singleGarbleConn(s, id),
 		ots:       s.ots,
 		cfg:       s.cfg,
 		inputBits: bits,
@@ -669,10 +730,161 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	// Hand the grown buffers back for the next inference on this session.
 	s.chunkBuf = en.cur
 	s.labelBuf = en.labelBuf
-	p.g = g
+	// Keep only what output authentication needs: the garbler (with its
+	// schedule-sized label array) is released here, not when the outputs
+	// return.
+	p.deltas = []gc.Label{g.R}
 	p.outZero = en.outZero
+	p.andGates = g.ANDGates
+	p.freeGates = g.FreeGates
 	s.inflight = append(s.inflight, p)
 	return p, nil
+}
+
+// PendingBatch is a batched inference whose fused garbled stream is on
+// the wire but whose output labels may not have returned yet: the
+// batch counterpart of PendingInference, returned by InferBatchAsync.
+type PendingBatch struct {
+	p *PendingInference
+}
+
+// Wait returns each sample's inference label (index-aligned with the
+// xs passed to InferBatchAsync) and the batch's statistics; Inferences
+// counts the samples and the gate/byte counters cover the whole fused
+// pass.
+func (pb *PendingBatch) Wait() ([]int, *Stats, error) {
+	if err := pb.p.wait(); err != nil {
+		return nil, nil, err
+	}
+	return pb.p.labels, pb.p.st, nil
+}
+
+// Done reports whether the results are already in (Wait will not
+// block).
+func (pb *PendingBatch) Done() bool { return pb.p.done }
+
+// Size returns the batch's sample count.
+func (pb *PendingBatch) Size() int { return pb.p.batch }
+
+// InferBatchAsync garbles and streams one batched inference of
+// len(xs) independent samples as a single fused pass — one schedule
+// walk, one interleaved table stream, and one OT derandomization
+// exchange per input step for the whole batch — without waiting for
+// the results. The batch occupies one slot of the pipeline window, so
+// batches and single inferences compose on one session. Validation
+// errors (empty batch, batch beyond the negotiated MaxBatch, ragged
+// sample widths) are reported before any frame is sent and leave the
+// session usable.
+func (s *Session) InferBatchAsync(xs [][]float64) (*PendingBatch, error) {
+	if s.closed {
+		return nil, errors.New("core: session is closed")
+	}
+	if s.failed {
+		return nil, errors.New("core: session is broken by an earlier protocol error")
+	}
+	b := len(xs)
+	if b == 0 {
+		return nil, errors.New("core: empty inference batch")
+	}
+	if b > s.maxBatch {
+		return nil, fmt.Errorf("core: batch of %d samples exceeds the negotiated maximum %d", b, s.maxBatch)
+	}
+	for i, x := range xs {
+		if got, want := len(x), s.inputLen; got != want {
+			return nil, fmt.Errorf("core: batch sample %d has %d features, model wants %d", i, got, want)
+		}
+	}
+	for len(s.inflight) >= s.window {
+		if err := s.resolveNext(); err != nil {
+			s.failed = true
+			return nil, err
+		}
+	}
+	bits := make([][]bool, b)
+	for i, x := range xs {
+		bits[i] = make([]bool, 0, len(x)*s.f.Bits())
+		for _, v := range x {
+			bits[i] = append(bits[i], s.f.FromFloatSat(v).Bits()...)
+		}
+	}
+
+	// Any error past this point leaves the wire mid-inference: mark the
+	// session broken so a retry can't desynchronize the protocol.
+	fail := func(err error) (*PendingBatch, error) {
+		s.failed = true
+		return nil, err
+	}
+	id := s.nextID
+	s.nextID++
+	p := &PendingInference{
+		s:       s,
+		id:      id,
+		batch:   b,
+		batched: true,
+		start:   time.Now(),
+		sent0:   s.conn.BytesSent.Load(),
+		recv0:   s.conn.BytesReceived.Load(),
+		ot0:     s.ots.Stats(),
+	}
+	s.tagBuf = transport.AppendTag(transport.AppendTag(s.tagBuf[:0], id), uint64(b))
+	if err := s.conn.Send(transport.MsgBatchBegin, s.tagBuf); err != nil {
+		return fail(err)
+	}
+	// Fresh garbling state per sample: every sample has its own Free-XOR
+	// delta and its own wire labels, so the samples of a batch are as
+	// unlinkable as separate inferences.
+	bg, err := gc.NewBatchGarbler(s.rng, b)
+	if err != nil {
+		return fail(err)
+	}
+	constPayload, err := bg.AppendConstLabels(s.labelBuf[:0])
+	if err != nil {
+		return fail(err)
+	}
+	if err := s.conn.SendTagged(transport.MsgBatchConst, id, constPayload); err != nil {
+		return fail(err)
+	}
+	en := &batchGarbleEngine{
+		sched:     s.prog.Schedule,
+		g:         bg,
+		pool:      s.pool,
+		conn:      batchGarbleConn(s, id),
+		ots:       s.ots,
+		cfg:       s.cfg,
+		b:         b,
+		inputBits: bits,
+		labelBuf:  constPayload[:0],
+		// outZero is NOT recycled across inferences here: in-flight
+		// inferences hold theirs until their outputs authenticate.
+		cur:  s.chunkBuf,
+		free: s.freeBufs,
+	}
+	if err := en.run(); err != nil {
+		return fail(err)
+	}
+	if err := s.conn.Flush(); err != nil {
+		return fail(err)
+	}
+	s.chunkBuf = en.cur
+	s.labelBuf = en.labelBuf
+	p.deltas = bg.R
+	p.outZero = en.outZero
+	p.andGates = bg.ANDGates
+	p.freeGates = bg.FreeGates
+	s.inflight = append(s.inflight, p)
+	return &PendingBatch{p: p}, nil
+}
+
+// InferBatch classifies a batch of samples in one fused pass and
+// returns their labels (index-aligned with xs) plus the batch's
+// statistics. It is synchronous — the batch's results (and any older
+// in-flight inferences') are settled before it returns.
+func (s *Session) InferBatch(xs [][]float64) ([]int, *Stats, error) {
+	pb, err := s.InferBatchAsync(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pb.Wait()
 }
 
 // Infer classifies one sample on the open session and returns the
@@ -780,6 +992,34 @@ func (c *Client) InferMany(conn *transport.Conn, xs [][]float64) ([]int, *Stats,
 			return nil, nil, err
 		}
 		labels = append(labels, label)
+	}
+	if err := sess.Close(); err != nil {
+		return nil, nil, err
+	}
+	return labels, sess.Stats(), nil
+}
+
+// InferBatch opens one session, classifies every sample in a single
+// fused batched inference (protocol v5), and closes the session: one
+// handshake, one OT base phase, one schedule walk, one interleaved
+// table stream, and one OT derandomization exchange per input step for
+// the whole batch. len(xs) must fit the negotiated batch cap (the
+// min of this client's EngineConfig.MaxBatch and the server's
+// announcement); for larger workloads, split into batches on an open
+// Session (InferBatch/InferBatchAsync compose with the pipeline
+// window) or fall back to InferMany. The returned stats are session
+// totals.
+func (c *Client) InferBatch(conn *transport.Conn, xs [][]float64) ([]int, *Stats, error) {
+	sess, err := c.NewSession(conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels, _, err := sess.InferBatch(xs)
+	if err != nil {
+		// Best-effort close so a server blocked at the inference
+		// boundary (e.g. after a local validation error) is released.
+		sess.Close() //nolint:errcheck — the InferBatch error is the one to report
+		return nil, nil, err
 	}
 	if err := sess.Close(); err != nil {
 		return nil, nil, err

@@ -57,11 +57,21 @@ const parallelMinGates = 1024
 // XORs. Small batches run inline (goroutine handoff would cost more than
 // the AES work saved). The first error wins.
 func (p *Pool) run(nAND, nFree int, fn func(h *Hasher, andLo, andHi, freeLo, freeHi int) error) error {
+	return p.runScaled(nAND, nFree, 1, fn)
+}
+
+// runScaled is run with a per-gate work multiplier: the vectorized batch
+// engine processes scale (= batch size B) samples inside every gate
+// visit, so the fan-out thresholds compare nAND×scale gate-instances —
+// a level of 8 ANDs at B=16 is 128 AES-heavy units and worth striping —
+// while the spans handed to workers remain gate ranges (samples stay
+// innermost, per worker, for cache locality).
+func (p *Pool) runScaled(nAND, nFree, scale int, fn func(h *Hasher, andLo, andHi, freeLo, freeHi int) error) error {
 	w := len(p.hashers)
 	if n := nAND + nFree; w > n {
 		w = n
 	}
-	if w <= 1 || (nAND < parallelMinANDs && nAND+nFree < parallelMinGates) {
+	if w <= 1 || (nAND*scale < parallelMinANDs && (nAND+nFree)*scale < parallelMinGates) {
 		return fn(p.hashers[0], 0, nAND, 0, nFree)
 	}
 	errs := make([]error, w)
@@ -90,17 +100,33 @@ func (p *Pool) run(nAND, nFree int, fn func(h *Hasher, andLo, andHi, freeLo, fre
 // Grow pre-sizes the garbler's label storage for wires [0, n). Batch
 // calls never grow storage (growth would race between workers), so the
 // engine must Grow to the schedule's namespace once per inference.
+// Unlike the incremental ensure, Grow allocates the exact final size in
+// one step — a fresh garbler per inference would otherwise pay ~2× the
+// label array in append-doubling garbage.
 func (g *Garbler) Grow(n uint32) {
-	if n > 0 {
-		g.ensure(n - 1)
+	if uint32(len(g.labels)) >= n {
+		return
 	}
+	labels := make([]Label, n)
+	copy(labels, g.labels)
+	g.labels = labels
+	have := make([]bool, n)
+	copy(have, g.have)
+	g.have = have
 }
 
-// Grow pre-sizes the evaluator's label storage for wires [0, n).
+// Grow pre-sizes the evaluator's label storage for wires [0, n) in one
+// exact-size allocation.
 func (e *Evaluator) Grow(n uint32) {
-	if n > 0 {
-		e.ensure(n - 1)
+	if uint32(len(e.labels)) >= n {
+		return
 	}
+	labels := make([]Label, n)
+	copy(labels, e.labels)
+	e.labels = labels
+	have := make([]bool, n)
+	copy(have, e.have)
+	e.have = have
 }
 
 // GarbleBatch garbles one level of mutually independent gates: ands are
@@ -157,18 +183,26 @@ func (g *Garbler) garbleAND(h *Hasher, gate circuit.Gate, gid uint64, dst []byte
 	if err != nil {
 		return err
 	}
-	a1 := a0.XOR(g.R)
-	b1 := b0.XOR(g.R)
+	return g.setLabel(gate.Out, garbleANDCore(h, a0, b0, g.R, 2*gid, 2*gid+1, dst))
+}
+
+// garbleANDCore is the half-gates AND cryptography against fully explicit
+// state: zero-labels a0/b0, Free-XOR delta r, hash tweaks j0/j1. It
+// writes the two ciphertexts to dst[:TableSize] and returns the output
+// zero-label. Shared by the per-session Garbler and the vectorized
+// BatchGarbler, so the batched table bytes are the single path's by
+// construction.
+func garbleANDCore(h *Hasher, a0, b0, r Label, j0, j1 uint64, dst []byte) Label {
+	a1 := a0.XOR(r)
+	b1 := b0.XOR(r)
 	pa := a0.LSB()
 	pb := b0.LSB()
-	j0 := 2 * gid
-	j1 := 2*gid + 1
 
 	// Generator half-gate.
 	ha0 := h.H(a0, j0)
 	tg := ha0.XOR(h.H(a1, j0))
 	if pb {
-		tg = tg.XOR(g.R)
+		tg = tg.XOR(r)
 	}
 	wg := ha0
 	if pa {
@@ -185,7 +219,7 @@ func (g *Garbler) garbleAND(h *Hasher, gate circuit.Gate, gid uint64, dst []byte
 
 	copy(dst[:LabelSize], tg[:])
 	copy(dst[LabelSize:TableSize], te[:])
-	return g.setLabel(gate.Out, wg.XOR(we))
+	return wg.XOR(we)
 }
 
 // garbleFree handles the tableless gates (XOR, INV) in batch mode.
@@ -242,9 +276,6 @@ func (e *Evaluator) setBatchLabel(w uint32, l Label) error {
 
 // evalAND is the half-gates AND evaluator against explicit coordinates.
 func (e *Evaluator) evalAND(h *Hasher, gate circuit.Gate, gid uint64, tab []byte) error {
-	var tg, te Label
-	copy(tg[:], tab[:LabelSize])
-	copy(te[:], tab[LabelSize:TableSize])
 	a, err := e.Label(gate.A)
 	if err != nil {
 		return err
@@ -253,8 +284,17 @@ func (e *Evaluator) evalAND(h *Hasher, gate circuit.Gate, gid uint64, tab []byte
 	if err != nil {
 		return err
 	}
-	j0 := 2 * gid
-	j1 := 2*gid + 1
+	return e.setBatchLabel(gate.Out, evalANDCore(h, a, b, 2*gid, 2*gid+1, tab))
+}
+
+// evalANDCore is the half-gates AND evaluation against fully explicit
+// state: active labels a/b, hash tweaks j0/j1, the gate's TableSize
+// ciphertext block. Shared by the per-session Evaluator and the
+// vectorized BatchEvaluator.
+func evalANDCore(h *Hasher, a, b Label, j0, j1 uint64, tab []byte) Label {
+	var tg, te Label
+	copy(tg[:], tab[:LabelSize])
+	copy(te[:], tab[LabelSize:TableSize])
 	wg := h.H(a, j0)
 	if a.LSB() {
 		wg = wg.XOR(tg)
@@ -263,7 +303,7 @@ func (e *Evaluator) evalAND(h *Hasher, gate circuit.Gate, gid uint64, tab []byte
 	if b.LSB() {
 		we = we.XOR(te).XOR(a)
 	}
-	return e.setBatchLabel(gate.Out, wg.XOR(we))
+	return wg.XOR(we)
 }
 
 // evalFree handles the tableless gates (XOR, INV) in batch mode.

@@ -85,9 +85,17 @@ var fixedKey = [16]byte{
 }
 
 // Hasher computes the correlation-robust garbling hash
-// H(L, t) = AES_fixed(2L ⊕ t) ⊕ (2L ⊕ t).
+// H(L, t) = AES_fixed(2L ⊕ t) ⊕ (2L ⊕ t). A Hasher is NOT safe for
+// concurrent use — every worker owns a private one (gc.Pool) — which is
+// what lets H run allocation-free: the AES input/output go through
+// heap-resident scratch buffers allocated once per Hasher, instead of
+// stack arrays that escape through the cipher.Block interface call on
+// every gate (two heap allocations per hash, the dominant allocation of
+// the whole protocol before they were hoisted here).
 type Hasher struct {
 	block cipher.Block
+	kbuf  []byte
+	obuf  []byte
 }
 
 // NewHasher builds the fixed-key hasher.
@@ -97,15 +105,17 @@ func NewHasher() *Hasher {
 		// aes.NewCipher only fails on bad key sizes; 16 is valid.
 		panic(fmt.Sprintf("gc: fixed-key AES init: %v", err))
 	}
-	return &Hasher{block: block}
+	return &Hasher{block: block, kbuf: make([]byte, LabelSize), obuf: make([]byte, LabelSize)}
 }
 
 // H computes the hash of label l under tweak t.
 func (h *Hasher) H(l Label, t uint64) Label {
 	k := double(l)
 	binary.LittleEndian.PutUint64(k[0:8], binary.LittleEndian.Uint64(k[0:8])^t)
+	copy(h.kbuf, k[:])
+	h.block.Encrypt(h.obuf, h.kbuf)
 	var out Label
-	h.block.Encrypt(out[:], k[:])
+	copy(out[:], h.obuf)
 	return out.XOR(k)
 }
 

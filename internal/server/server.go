@@ -106,6 +106,16 @@ func WithPipeline(depth int) Option {
 	return func(s *Server) { s.core.Engine.Pipeline = depth }
 }
 
+// WithMaxBatch sets the batched-inference sample cap the server
+// announces and enforces (protocol v5): one InferBatch call fuses up to
+// n samples into a single schedule walk, table stream, and per-step OT
+// exchange, at the cost of n× the per-inference label and table memory
+// on the server. 0 keeps the default (core.DefaultMaxBatch); values
+// clamp to [1, 256].
+func WithMaxBatch(n int) Option {
+	return func(s *Server) { s.core.Engine.MaxBatch = n }
+}
+
 // WithIdleTimeout bounds how long a session connection may sit idle.
 // Each read and each write arms a deadline of d; a client that stalls
 // mid-protocol — never speaking, or holding the connection open while

@@ -61,6 +61,20 @@ const (
 	MsgInferInputs
 	MsgInferTables
 	MsgInferOutputs
+	// Batched inference (protocol v5): MsgBatchBegin opens a batched
+	// sub-stream (uvarint inference id ++ uvarint batch size B) that
+	// occupies one slot of the pipeline window and fuses B independent
+	// sample instances into one schedule walk. The MsgBatch* frames are
+	// the batch counterparts of the MsgInfer* ones — same uvarint id
+	// prefix, payloads carrying all B samples wire-major with samples
+	// innermost (gate rank i, sample s of a level's tables at
+	// (i*B+s)*TableSize). At B=1 every payload is byte-identical to its
+	// MsgInfer* counterpart.
+	MsgBatchBegin
+	MsgBatchConst
+	MsgBatchInputs
+	MsgBatchTables
+	MsgBatchOutputs
 
 	// msgTypeEnd sentinels the name table: every defined MsgType is
 	// strictly below it (tests iterate the full range).
@@ -86,6 +100,9 @@ var msgNames = map[MsgType]string{
 	MsgPipeline:  "pipeline", MsgInferBegin: "infer-begin",
 	MsgInferConst: "infer-const", MsgInferInputs: "infer-inputs",
 	MsgInferTables: "infer-tables", MsgInferOutputs: "infer-outputs",
+	MsgBatchBegin: "batch-begin", MsgBatchConst: "batch-const",
+	MsgBatchInputs: "batch-inputs", MsgBatchTables: "batch-tables",
+	MsgBatchOutputs: "batch-outputs",
 }
 
 // String names the message type.

@@ -2,10 +2,31 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"strings"
 	"testing"
 )
+
+// TestAppendTagNoAlloc pins the tagged-send hot path: appending the
+// uvarint tag(s) of a begin frame into a pre-sized session scratch
+// buffer (what Session.InferAsync / InferBatchAsync and the server's
+// pipeline announcement do) must not allocate — AppendTag into a
+// nil/undersized dst reallocates the frame buffer on every send.
+func TestAppendTagNoAlloc(t *testing.T) {
+	scratch := make([]byte, 0, 2*binary.MaxVarintLen64)
+	if allocs := testing.AllocsPerRun(200, func() {
+		// A batch begin is the worst case: two uvarints (id ++ B).
+		scratch = AppendTag(AppendTag(scratch[:0], 1<<40), 16)
+	}); allocs != 0 {
+		t.Fatalf("AppendTag into a pre-sized scratch allocated %.1f times per run, want 0", allocs)
+	}
+	if id, rest, err := SplitTag(scratch); err != nil || id != 1<<40 {
+		t.Fatalf("scratch round trip: id=%d err=%v", id, err)
+	} else if b, n := binary.Uvarint(rest); n != len(rest) || b != 16 {
+		t.Fatalf("scratch round trip: batch=%d", b)
+	}
+}
 
 func TestTaggedFrameRoundTrip(t *testing.T) {
 	a, b, closer := Pipe()
