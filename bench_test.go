@@ -547,6 +547,110 @@ func BenchmarkGarbleGates(b *testing.B) {
 	b.SetBytes(int64(gc.TableSize))
 }
 
+// BenchmarkHashWide measures the fixed-key garbling hash: one label per
+// H call (scalar), versus the multi-lane HN entry point on the portable
+// fallback, versus HN on the 8-block pipelined AES-NI kernel (skipped
+// where unavailable). The wide/scalar ratio is the kernel's win with all
+// staging overhead included — the acceptance floor is 2× on AES-NI.
+func BenchmarkHashWide(b *testing.B) {
+	const n = 1024
+	labels := make([]gc.Label, n)
+	tweaks := make([]uint64, n)
+	dst := make([]gc.Label, n)
+	rng := rand.New(rand.NewSource(41))
+	for i := range labels {
+		rng.Read(labels[i][:])
+		tweaks[i] = rng.Uint64()
+	}
+	b.Run("scalar", func(b *testing.B) {
+		h := gc.NewHasher()
+		b.SetBytes(n * gc.LabelSize)
+		for i := 0; i < b.N; i++ {
+			for j := range labels {
+				dst[j] = h.H(labels[j], tweaks[j])
+			}
+		}
+	})
+	b.Run("fallbackHN", func(b *testing.B) {
+		prev := gc.SetWide(false)
+		defer gc.SetWide(prev)
+		h := gc.NewHasher()
+		b.SetBytes(n * gc.LabelSize)
+		for i := 0; i < b.N; i++ {
+			h.HN(dst, labels, tweaks)
+		}
+	})
+	b.Run("wideHN", func(b *testing.B) {
+		if !gc.WideAvailable() {
+			b.Skip("AES-NI wide kernel unavailable on this machine")
+		}
+		prev := gc.SetWide(true)
+		defer gc.SetWide(prev)
+		h := gc.NewHasher()
+		b.SetBytes(n * gc.LabelSize)
+		for i := 0; i < b.N; i++ {
+			h.HN(dst, labels, tweaks)
+		}
+	})
+}
+
+// BenchmarkGarbleLevel measures the batched level kernel — the unit the
+// session engines call per gate level — across B∈{1,16} with the wide
+// hashing core on and off, on a single worker so the rows isolate the
+// hashing core rather than the pool. The Mgates/s column feeds the
+// README's throughput table.
+func BenchmarkGarbleLevel(b *testing.B) {
+	const nIn = 64
+	const nAND = 1024
+	rng := rand.New(rand.NewSource(42))
+	ands := make([]circuit.Gate, nAND)
+	for i := range ands {
+		ands[i] = circuit.Gate{
+			Op:  circuit.AND,
+			A:   2 + uint32(rng.Intn(nIn)),
+			B:   2 + uint32(rng.Intn(nIn)),
+			Out: 2 + nIn + uint32(i),
+		}
+	}
+	for _, wide := range []bool{false, true} {
+		wide := wide
+		mode := "scalar"
+		if wide {
+			mode = "wide"
+		}
+		for _, batch := range []int{1, 16} {
+			batch := batch
+			b.Run(fmt.Sprintf("%s/B=%d", mode, batch), func(b *testing.B) {
+				if wide && !gc.WideAvailable() {
+					b.Skip("AES-NI wide kernel unavailable on this machine")
+				}
+				prev := gc.SetWide(wide)
+				defer gc.SetWide(prev)
+				g, err := gc.NewBatchGarbler(rand.New(rand.NewSource(43)), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g.Grow(2 + nIn + nAND)
+				for w := uint32(2); w < 2+nIn; w++ {
+					if err := g.AssignInput(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pool := gc.NewPool(1)
+				tables := make([]byte, nAND*batch*gc.TableSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := g.GarbleLevel(ands, nil, 0, tables, pool); err != nil {
+						b.Fatal(err)
+					}
+				}
+				gates := float64(nAND*batch) * float64(b.N)
+				b.ReportMetric(gates/b.Elapsed().Seconds()/1e6, "Mgates/s")
+			})
+		}
+	}
+}
+
 // BenchmarkFullB3GateCount times the streaming generation of benchmark 3's
 // complete netlist (26M+ gates), demonstrating the constant-memory path.
 func BenchmarkFullB3GateCount(b *testing.B) {

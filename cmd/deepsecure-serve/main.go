@@ -103,16 +103,22 @@ func main() {
 	}
 	log.Printf("batched inference: up to %d sample(s) per fused InferBatch call",
 		(deepsecure.EngineConfig{MaxBatch: *maxBatch}).MaxBatchSize())
+	if deepsecure.WideHashAvailable() {
+		log.Printf("garbling hash core: 8-block pipelined AES-NI kernel")
+	} else {
+		log.Printf("garbling hash core: portable crypto/aes fallback (no AES-NI or purego build)")
+	}
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s), pipeline peak %d in flight / %v overlapped",
+				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s), pipeline peak %d in flight / %v overlapped, crypto core %.2f Mgates/s",
 					st.Sessions, st.ActiveSessions, st.Inferences, st.Errors,
 					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
 					st.OTsPooled, st.OTsConsumed, st.OTRefills,
-					st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
+					st.MaxInFlight, st.OverlapTime.Round(time.Millisecond),
+					st.GatesPerSec()/1e6)
 			}
 		}()
 	}
@@ -138,7 +144,8 @@ func main() {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s); pipeline peak %d in flight, %v overlapped",
+	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s); pipeline peak %d in flight, %v overlapped; crypto core %.2f Mgates/s over %v",
 		st.Sessions, st.Inferences, st.OTsPooled, st.OTsConsumed, st.OTRefills,
-		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
+		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond),
+		st.GatesPerSec()/1e6, st.GateTime.Round(time.Millisecond))
 }

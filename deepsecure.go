@@ -28,6 +28,7 @@ import (
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/core"
 	"deepsecure/internal/fixed"
+	"deepsecure/internal/gc"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot/precomp"
@@ -310,3 +311,9 @@ func NetlistStats(net *Network, f Format) (Stats, error) {
 	s, _, err := netgen.FastCount(net, f, netgen.Options{})
 	return s, err
 }
+
+// WideHashAvailable reports whether the 8-block pipelined AES-NI garbling
+// hash kernel is active on this machine (amd64 with AES-NI, not built
+// with the purego tag). When false, garbling runs on the portable
+// crypto/aes fallback — same bytes, lower throughput.
+func WideHashAvailable() bool { return gc.WideAvailable() }

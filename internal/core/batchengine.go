@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
@@ -47,6 +48,10 @@ type batchGarbleEngine struct {
 
 	cur  []byte      // table chunk being filled
 	free chan []byte // recycled chunk buffers
+
+	// gateTime accumulates the wall time of the per-level GarbleLevel
+	// calls — the hash-core cost of the whole fused batch.
+	gateTime time.Duration
 }
 
 func (en *batchGarbleEngine) run() error {
@@ -160,7 +165,10 @@ func (en *batchGarbleEngine) doLevels(st *circuit.Step) (err error) {
 			cur = append(cur[:cap(cur)], 0)
 		}
 		cur = cur[:off+need]
-		if err = en.g.GarbleLevel(ands, frees, lv.GIDBase, cur[off:off+need], en.pool); err != nil {
+		t0 := time.Now()
+		err = en.g.GarbleLevel(ands, frees, lv.GIDBase, cur[off:off+need], en.pool)
+		en.gateTime += time.Since(t0)
+		if err != nil {
 			break
 		}
 		for _, w := range lv.Drops {
@@ -218,6 +226,10 @@ type batchEvalEngine struct {
 
 	pending   []byte
 	outLabels []gc.Label // wire-major, samples innermost
+
+	// gateTime accumulates the wall time of the per-level EvaluateLevel
+	// calls (table waits excluded).
+	gateTime time.Duration
 }
 
 func (en *batchEvalEngine) run() error {
@@ -333,7 +345,10 @@ func (en *batchEvalEngine) doLevels(st *circuit.Step) error {
 		if block, err = tr.level(lv.ANDs * en.b * gc.TableSize); err != nil {
 			break
 		}
-		if err = en.e.EvaluateLevel(ands, frees, lv.GIDBase, block, en.pool); err != nil {
+		t0 := time.Now()
+		err = en.e.EvaluateLevel(ands, frees, lv.GIDBase, block, en.pool)
+		en.gateTime += time.Since(t0)
+		if err != nil {
 			break
 		}
 		if en.progress != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
@@ -196,6 +197,10 @@ type garbleEngine struct {
 
 	cur  []byte      // table chunk being filled
 	free chan []byte // recycled chunk buffers
+
+	// gateTime accumulates the wall time of the per-level GarbleBatch
+	// calls — the hash-core cost this inference paid, transport excluded.
+	gateTime time.Duration
 }
 
 func (en *garbleEngine) run() error {
@@ -316,7 +321,10 @@ func (en *garbleEngine) doLevels(st *circuit.Step) (err error) {
 			cur = append(cur[:cap(cur)], 0)
 		}
 		cur = cur[:off+need]
-		if err = en.g.GarbleBatch(ands, frees, lv.GIDBase, cur[off:off+need], en.pool); err != nil {
+		t0 := time.Now()
+		err = en.g.GarbleBatch(ands, frees, lv.GIDBase, cur[off:off+need], en.pool)
+		en.gateTime += time.Since(t0)
+		if err != nil {
 			break
 		}
 		for _, w := range lv.Drops {
@@ -386,6 +394,10 @@ type evalEngine struct {
 
 	pending   []byte
 	outLabels []gc.Label
+
+	// gateTime accumulates the wall time of the per-level EvaluateBatch
+	// calls (table waits excluded — tr.level blocks outside the window).
+	gateTime time.Duration
 }
 
 func (en *evalEngine) run() error {
@@ -493,7 +505,10 @@ func (en *evalEngine) doLevels(st *circuit.Step) error {
 		if block, err = tr.level(lv.ANDs * gc.TableSize); err != nil {
 			break
 		}
-		if err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, block, en.pool); err != nil {
+		t0 := time.Now()
+		err = en.e.EvaluateBatch(ands, frees, lv.GIDBase, block, en.pool)
+		en.gateTime += time.Since(t0)
+		if err != nil {
 			break
 		}
 		if en.progress != nil {

@@ -212,12 +212,17 @@ type sessionMux struct {
 	spawned int         // reader-owned until readerDone, then main-owned
 
 	// In-flight accounting for Stats: time with ≥2 inferences active is
-	// the session's measured overlap.
+	// the session's measured overlap. gateTime and the gate counters
+	// accumulate per finished context (counts derived from the schedule,
+	// kernel time measured by the engine).
 	statMu       sync.Mutex
 	inFlight     int
 	maxInFlight  int
 	overlapSince time.Time
 	overlap      time.Duration
+	gateTime     time.Duration
+	andGates     int64
+	freeGates    int64
 }
 
 func newSessionMux(srv *Server, conn *transport.Conn, mc *muxConn, otp *precomp.ReceiverPool, sched *circuit.Schedule, weightBits []bool) *sessionMux {
@@ -322,6 +327,9 @@ func (m *sessionMux) finishStats(st *Stats) {
 	}
 	st.MaxInFlight = int64(m.maxInFlight)
 	st.OverlapTime = m.overlap
+	st.GateTime = m.gateTime
+	st.ANDGates = m.andGates
+	st.FreeGates = m.freeGates
 }
 
 func (m *sessionMux) emit(ev muxEvent) {
@@ -582,6 +590,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 	var run func() error
 	var pendingRef *[]byte
 	var outRef *[]gc.Label
+	var gtRef *time.Duration
 	if c.batch > 0 {
 		// Batched sub-stream: const labels arrive wire-major (the B
 		// false-labels, then the B true-labels), like every batch frame.
@@ -615,7 +624,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}
-		run, pendingRef, outRef = en.run, &en.pending, &en.outLabels
+		run, pendingRef, outRef, gtRef = en.run, &en.pending, &en.outLabels, &en.gateTime
 	} else {
 		if len(constLabels) != 2*gc.LabelSize {
 			return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
@@ -640,13 +649,21 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}
-		run, pendingRef, outRef = en.run, &en.pending, &en.outLabels
+		run, pendingRef, outRef, gtRef = en.run, &en.pending, &en.outLabels, &en.gateTime
 	}
 	err = run()
 	m.putBuf(*pendingRef)
 	if err != nil {
 		return err
 	}
+	// Fold the crypto-core counters: gate-instance counts derive from the
+	// schedule (every context walks it once per sample), kernel time from
+	// the engine's measurement.
+	m.statMu.Lock()
+	m.gateTime += *gtRef
+	m.andGates += m.sched.ANDs * c.samples()
+	m.freeGates += (int64(len(m.sched.Gates)) - m.sched.ANDs) * c.samples()
+	m.statMu.Unlock()
 	outLabels := *outRef
 	payload := make([]byte, 0, len(outLabels)*gc.LabelSize)
 	for _, l := range outLabels {

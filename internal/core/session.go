@@ -82,6 +82,22 @@ type Stats struct {
 	// session means the client never ran ahead (or depth is 1).
 	MaxInFlight int64
 	OverlapTime time.Duration
+
+	// GateTime is the wall time spent inside the per-level garble/evaluate
+	// kernel calls — the hash-core cost alone, transport waits and OT
+	// excluded. With pipelining, concurrent inferences' kernel intervals
+	// may overlap, so GateTime can exceed the session's wall time.
+	GateTime time.Duration
+}
+
+// GatesPerSec returns the crypto-core throughput: gate-instances (AND +
+// free) processed per second of measured kernel time, or 0 when no
+// kernel time was recorded.
+func (st *Stats) GatesPerSec() float64 {
+	if st.GateTime <= 0 {
+		return 0
+	}
+	return float64(st.ANDGates+st.FreeGates) / st.GateTime.Seconds()
 }
 
 // addOT folds a pool-stats delta into the Stats.
@@ -313,6 +329,7 @@ type Session struct {
 	inferences int64
 	andGates   int64
 	freeGates  int64
+	gateTime   time.Duration
 	closed     bool
 	failed     bool // a mid-protocol error desynchronized the stream
 
@@ -533,11 +550,12 @@ type PendingInference struct {
 	recv0   int64
 	ot0     precomp.Stats
 
-	// Gate counters captured at garble time (the garbler itself, with
-	// its schedule-sized label array, is released as soon as the stream
-	// is flushed).
+	// Gate counters and kernel time captured at garble time (the garbler
+	// itself, with its schedule-sized label array, is released as soon
+	// as the stream is flushed).
 	andGates  int64
 	freeGates int64
+	gateTime  time.Duration
 
 	done   bool
 	labels []int
@@ -634,6 +652,7 @@ func (s *Session) resolveOutput(typ transport.MsgType, payload []byte) error {
 		Duration:      time.Since(p.start),
 		ANDGates:      p.andGates,
 		FreeGates:     p.freeGates,
+		GateTime:      p.gateTime,
 		Inferences:    int64(p.batch),
 	}
 	p.st.addOT(otDelta(s.ots.Stats(), p.ot0))
@@ -641,6 +660,7 @@ func (s *Session) resolveOutput(typ transport.MsgType, payload []byte) error {
 	s.inferences += int64(p.batch)
 	s.andGates += p.andGates
 	s.freeGates += p.freeGates
+	s.gateTime += p.gateTime
 	return nil
 }
 
@@ -737,6 +757,7 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	p.outZero = en.outZero
 	p.andGates = g.ANDGates
 	p.freeGates = g.FreeGates
+	p.gateTime = en.gateTime
 	s.inflight = append(s.inflight, p)
 	return p, nil
 }
@@ -871,6 +892,7 @@ func (s *Session) InferBatchAsync(xs [][]float64) (*PendingBatch, error) {
 	p.outZero = en.outZero
 	p.andGates = bg.ANDGates
 	p.freeGates = bg.FreeGates
+	p.gateTime = en.gateTime
 	s.inflight = append(s.inflight, p)
 	return &PendingBatch{p: p}, nil
 }
@@ -938,6 +960,7 @@ func (s *Session) Stats() *Stats {
 		Duration:      time.Since(s.start),
 		ANDGates:      s.andGates,
 		FreeGates:     s.freeGates,
+		GateTime:      s.gateTime,
 		Inferences:    s.inferences,
 		OTOfflineTime: s.baseTime,
 	}

@@ -59,6 +59,9 @@ func TestMultiInferenceSession(t *testing.T) {
 		if st.ANDGates == 0 || st.BytesSent == 0 || st.Inferences != 1 {
 			t.Errorf("inference %d: stats not populated: %+v", i, st)
 		}
+		if st.GateTime <= 0 || st.GatesPerSec() <= 0 {
+			t.Errorf("inference %d: crypto-core time not measured: GateTime=%v", i, st.GateTime)
+		}
 		// Fresh garbling per inference: the output zero-labels of two
 		// garbled executions of the same netlist must differ, or the
 		// transcripts would be linkable.

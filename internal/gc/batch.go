@@ -50,6 +50,15 @@ const parallelMinANDs = 32
 // free gates only.
 const parallelMinGates = 1024
 
+// laneMinANDs and laneMinFrees set the striping granularity: each worker
+// should own at least this many AND gate-instances (= a few full 8-lane
+// hash waves) or this many free-gate instances before another worker is
+// worth waking.
+const (
+	laneMinANDs  = 16
+	laneMinFrees = 512
+)
+
 // run executes fn over per-worker spans of the AND range [0, nAND) and
 // the free range [0, nFree). The two populations are striped separately
 // — a single partition of the concatenation would hand every AES-heavy
@@ -70,6 +79,19 @@ func (p *Pool) runScaled(nAND, nFree, scale int, fn func(h *Hasher, andLo, andHi
 	w := len(p.hashers)
 	if n := nAND + nFree; w > n {
 		w = n
+	}
+	// Lane-quantum clamp: a worker span smaller than a few 8-lane hash
+	// waves runs the wide kernel partially filled (the trailing flush of
+	// every span has < garbleUnits/evalUnits gates staged), so fan-out
+	// below laneMinANDs AND-instances per worker fragments lanes faster
+	// than it adds cores. Free gates are near-free label XORs and only
+	// justify an extra worker in bulk. Striping never affects the bytes
+	// produced, so the clamp is a pure scheduling choice.
+	if lim := (nAND*scale)/laneMinANDs + (nFree*scale)/laneMinFrees; w > lim {
+		w = lim
+		if w < 1 {
+			w = 1
+		}
 	}
 	if w <= 1 || (nAND*scale < parallelMinANDs && (nAND+nFree)*scale < parallelMinGates) {
 		return fn(p.hashers[0], 0, nAND, 0, nFree)
@@ -143,10 +165,49 @@ func (g *Garbler) GarbleBatch(ands, frees []circuit.Gate, gidBase uint64, table 
 		return fmt.Errorf("gc: garble batch table is %d bytes, want %d", len(table), len(ands)*TableSize)
 	}
 	err := pool.run(len(ands), len(frees), func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		// Gather garbleUnits AND gates per multi-lane hash flush; level
+		// independence makes the deferred output-label writes safe.
+		var us [garbleUnits]andUnit
+		var outs [garbleUnits]Label
+		var outw [garbleUnits]uint32
+		nu := 0
+		flush := func() error {
+			garbleANDWide(h, &us, nu)
+			for k := 0; k < nu; k++ {
+				if err := g.setLabel(outw[k], outs[k]); err != nil {
+					return err
+				}
+			}
+			nu = 0
+			return nil
+		}
 		for i := andLo; i < andHi; i++ {
-			if err := g.garbleAND(h, ands[i], gidBase+uint64(i), table[i*TableSize:(i+1)*TableSize]); err != nil {
+			gate := ands[i]
+			a0, err := g.ZeroLabel(gate.A)
+			if err != nil {
 				return err
 			}
+			b0, err := g.ZeroLabel(gate.B)
+			if err != nil {
+				return err
+			}
+			gid := gidBase + uint64(i)
+			us[nu] = andUnit{
+				a0: a0, b0: b0, r: g.R, r2: g.r2,
+				j0: 2 * gid, j1: 2*gid + 1,
+				dst: table[i*TableSize : (i+1)*TableSize],
+				out: &outs[nu],
+			}
+			outw[nu] = gate.Out
+			nu++
+			if nu == garbleUnits {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
 		}
 		for i := freeLo; i < freeHi; i++ {
 			if err := g.garbleFree(frees[i]); err != nil {
@@ -183,43 +244,83 @@ func (g *Garbler) garbleAND(h *Hasher, gate circuit.Gate, gid uint64, dst []byte
 	if err != nil {
 		return err
 	}
-	return g.setLabel(gate.Out, garbleANDCore(h, a0, b0, g.R, 2*gid, 2*gid+1, dst))
+	var us [garbleUnits]andUnit
+	var out Label
+	us[0] = andUnit{a0: a0, b0: b0, r: g.R, r2: g.r2, j0: 2 * gid, j1: 2*gid + 1, dst: dst, out: &out}
+	garbleANDWide(h, &us, 1)
+	return g.setLabel(gate.Out, out)
 }
 
-// garbleANDCore is the half-gates AND cryptography against fully explicit
-// state: zero-labels a0/b0, Free-XOR delta r, hash tweaks j0/j1. It
-// writes the two ciphertexts to dst[:TableSize] and returns the output
-// zero-label. Shared by the per-session Garbler and the vectorized
-// BatchGarbler, so the batched table bytes are the single path's by
-// construction.
-func garbleANDCore(h *Hasher, a0, b0, r Label, j0, j1 uint64, dst []byte) Label {
-	a1 := a0.XOR(r)
-	b1 := b0.XOR(r)
-	pa := a0.LSB()
-	pb := b0.LSB()
+// garbleUnits is how many AND gate-instances fill the hasher's lanes on
+// the garble side (4 half-gate hashes each), and evalUnits on the
+// evaluate side (2 hashes each).
+const (
+	garbleUnits = HashLanes / 4
+	evalUnits   = HashLanes / 2
+)
 
-	// Generator half-gate.
-	ha0 := h.H(a0, j0)
-	tg := ha0.XOR(h.H(a1, j0))
-	if pb {
-		tg = tg.XOR(r)
-	}
-	wg := ha0
-	if pa {
-		wg = wg.XOR(tg)
-	}
+// andUnit is one staged AND gate-instance on the garble side: the
+// half-gates inputs plus where its two ciphertexts (dst) and output
+// zero-label (out) go. Inputs are captured by value at staging time, so
+// completing a unit later — after other units' lanes hashed alongside it
+// — is safe even when out aliases the live label array (level
+// independence guarantees no staged unit reads what another writes).
+type andUnit struct {
+	a0, b0 Label
+	r, r2  Label
+	j0, j1 uint64
+	dst    []byte
+	out    *Label
+}
 
-	// Evaluator half-gate.
-	hb0 := h.H(b0, j1)
-	te := hb0.XOR(h.H(b1, j1)).XOR(a0)
-	we := hb0
-	if pb {
-		we = we.XOR(te).XOR(a0)
+// garbleANDWide is the half-gates AND cryptography over up to
+// garbleUnits staged gate-instances: all units' hashes — 2 labels × 2
+// tweaks each, every label doubled once with the ⊕R variant derived via
+// the cached 2R — issue as ONE multi-lane hash call, then each unit's
+// half-gate combination completes from the returned lanes. The
+// single-unit call is the scalar conformance shape (the one-gate
+// Garbler.Garble path); multi-unit calls produce byte-identical tables
+// by construction, pinned by the wide-vs-scalar tests.
+func garbleANDWide(h *Hasher, us *[garbleUnits]andUnit, n int) {
+	for i := 0; i < n; i++ {
+		u := &us[i]
+		// Hoisted doubling: 2a0 once per label, 2a1 = 2a0 ⊕ 2R.
+		da0 := double(u.a0)
+		db0 := double(u.b0)
+		h.lanes[4*i+0] = xorTweak(da0, u.j0)
+		h.lanes[4*i+1] = xorTweak(da0.XOR(u.r2), u.j0)
+		h.lanes[4*i+2] = xorTweak(db0, u.j1)
+		h.lanes[4*i+3] = xorTweak(db0.XOR(u.r2), u.j1)
 	}
+	h.hashStaged(4 * n)
+	for i := 0; i < n; i++ {
+		u := &us[i]
+		ha0, ha1 := h.lanes[4*i+0], h.lanes[4*i+1]
+		hb0, hb1 := h.lanes[4*i+2], h.lanes[4*i+3]
+		pa := u.a0.LSB()
+		pb := u.b0.LSB()
 
-	copy(dst[:LabelSize], tg[:])
-	copy(dst[LabelSize:TableSize], te[:])
-	return wg.XOR(we)
+		// Generator half-gate.
+		tg := ha0.XOR(ha1)
+		if pb {
+			tg = tg.XOR(u.r)
+		}
+		wg := ha0
+		if pa {
+			wg = wg.XOR(tg)
+		}
+
+		// Evaluator half-gate.
+		te := hb0.XOR(hb1).XOR(u.a0)
+		we := hb0
+		if pb {
+			we = we.XOR(te).XOR(u.a0)
+		}
+
+		copy(u.dst[:LabelSize], tg[:])
+		copy(u.dst[LabelSize:TableSize], te[:])
+		*u.out = wg.XOR(we)
+	}
 }
 
 // garbleFree handles the tableless gates (XOR, INV) in batch mode.
@@ -251,10 +352,49 @@ func (e *Evaluator) EvaluateBatch(ands, frees []circuit.Gate, gidBase uint64, ta
 		return fmt.Errorf("gc: evaluate batch table is %d bytes, want %d", len(table), len(ands)*TableSize)
 	}
 	return pool.run(len(ands), len(frees), func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		// Gather evalUnits AND gates per multi-lane hash flush, the mirror
+		// of the GarbleBatch gathering.
+		var us [evalUnits]evalUnit
+		var outs [evalUnits]Label
+		var outw [evalUnits]uint32
+		nu := 0
+		flush := func() error {
+			evalANDWide(h, &us, nu)
+			for k := 0; k < nu; k++ {
+				if err := e.setBatchLabel(outw[k], outs[k]); err != nil {
+					return err
+				}
+			}
+			nu = 0
+			return nil
+		}
 		for i := andLo; i < andHi; i++ {
-			if err := e.evalAND(h, ands[i], gidBase+uint64(i), table[i*TableSize:(i+1)*TableSize]); err != nil {
+			gate := ands[i]
+			a, err := e.Label(gate.A)
+			if err != nil {
 				return err
 			}
+			b, err := e.Label(gate.B)
+			if err != nil {
+				return err
+			}
+			gid := gidBase + uint64(i)
+			us[nu] = evalUnit{
+				a: a, b: b,
+				j0: 2 * gid, j1: 2*gid + 1,
+				tab: table[i*TableSize : (i+1)*TableSize],
+				out: &outs[nu],
+			}
+			outw[nu] = gate.Out
+			nu++
+			if nu == evalUnits {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return err
 		}
 		for i := freeLo; i < freeHi; i++ {
 			if err := e.evalFree(frees[i]); err != nil {
@@ -284,26 +424,50 @@ func (e *Evaluator) evalAND(h *Hasher, gate circuit.Gate, gid uint64, tab []byte
 	if err != nil {
 		return err
 	}
-	return e.setBatchLabel(gate.Out, evalANDCore(h, a, b, 2*gid, 2*gid+1, tab))
+	var us [evalUnits]evalUnit
+	var out Label
+	us[0] = evalUnit{a: a, b: b, j0: 2 * gid, j1: 2*gid + 1, tab: tab, out: &out}
+	evalANDWide(h, &us, 1)
+	return e.setBatchLabel(gate.Out, out)
 }
 
-// evalANDCore is the half-gates AND evaluation against fully explicit
-// state: active labels a/b, hash tweaks j0/j1, the gate's TableSize
-// ciphertext block. Shared by the per-session Evaluator and the
-// vectorized BatchEvaluator.
-func evalANDCore(h *Hasher, a, b Label, j0, j1 uint64, tab []byte) Label {
-	var tg, te Label
-	copy(tg[:], tab[:LabelSize])
-	copy(te[:], tab[LabelSize:TableSize])
-	wg := h.H(a, j0)
-	if a.LSB() {
-		wg = wg.XOR(tg)
+// evalUnit is one staged AND gate-instance on the evaluate side: the two
+// active input labels, the tweaks, the gate's ciphertext block and where
+// the output label goes. Like andUnit, inputs are captured by value at
+// staging time so deferred completion is safe under level independence.
+type evalUnit struct {
+	a, b   Label
+	j0, j1 uint64
+	tab    []byte
+	out    *Label
+}
+
+// evalANDWide is the half-gates AND evaluation over up to evalUnits
+// staged gate-instances: all units' hashes (2 per gate — one active
+// label per half-gate) issue as one multi-lane hash call, then each
+// unit's ciphertext combination completes from the returned lanes.
+func evalANDWide(h *Hasher, us *[evalUnits]evalUnit, n int) {
+	for i := 0; i < n; i++ {
+		u := &us[i]
+		h.lanes[2*i+0] = xorTweak(double(u.a), u.j0)
+		h.lanes[2*i+1] = xorTweak(double(u.b), u.j1)
 	}
-	we := h.H(b, j1)
-	if b.LSB() {
-		we = we.XOR(te).XOR(a)
+	h.hashStaged(2 * n)
+	for i := 0; i < n; i++ {
+		u := &us[i]
+		var tg, te Label
+		copy(tg[:], u.tab[:LabelSize])
+		copy(te[:], u.tab[LabelSize:TableSize])
+		wg := h.lanes[2*i+0]
+		if u.a.LSB() {
+			wg = wg.XOR(tg)
+		}
+		we := h.lanes[2*i+1]
+		if u.b.LSB() {
+			we = we.XOR(te).XOR(u.a)
+		}
+		*u.out = wg.XOR(we)
 	}
-	return wg.XOR(we)
 }
 
 // evalFree handles the tableless gates (XOR, INV) in batch mode.

@@ -11,7 +11,11 @@ import (
 // Free-XOR delta, the zero-label of every live wire, and the gate counter
 // that keys the hash tweaks. It is driven gate-by-gate in netlist order.
 type Garbler struct {
-	R      Label
+	R Label
+	// r2 caches double(R): doubling is GF(2)-linear, so 2(L⊕R) = 2L ⊕ 2R
+	// and every one-labels' hash key derives from its zero-label's double
+	// with one XOR instead of a second doubling.
+	r2     Label
 	h      *Hasher
 	rng    io.Reader
 	labels []Label // zero-labels indexed by wire id
@@ -30,7 +34,7 @@ func NewGarbler(rng io.Reader) (*Garbler, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Garbler{R: r, h: NewHasher(), rng: rng}
+	g := &Garbler{R: r, r2: double(r), h: NewHasher(), rng: rng}
 	for _, w := range []uint32{circuit.WFalse, circuit.WTrue} {
 		if _, err := g.AssignInput(w); err != nil {
 			return nil, err

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // SecurityBits is the GC security parameter (label width in bits). The
@@ -84,6 +85,42 @@ var fixedKey = [16]byte{
 	0x44, 0xfe, 0x09, 0x73, 0xa2, 0x58, 0x1d, 0xc6,
 }
 
+// xorTweak folds a hash tweak into a doubled label, forming the AES
+// input block 2L ⊕ t of the garbling hash.
+func xorTweak(k Label, t uint64) Label {
+	binary.LittleEndian.PutUint64(k[0:8], binary.LittleEndian.Uint64(k[0:8])^t)
+	return k
+}
+
+// HashLanes is the width of the Hasher's multi-lane face: HN (and the
+// internal staged-lane path the gate cores use) hashes up to this many
+// independent labels per call, matching the depth hardware AES units
+// pipeline.
+const HashLanes = 8
+
+// wideOff force-disables the multi-lane AESENC kernel for Hashers
+// created after SetWide(false) — the benchmark/test toggle that lets one
+// binary measure the scalar cipher.Block path against the wide kernel.
+var wideOff atomic.Bool
+
+// WideAvailable reports whether this build and CPU expose the 8-block
+// pipelined AESENC kernel (amd64 with AES-NI, not built with the purego
+// tag). When false, HN falls back to looping the scalar hash.
+func WideAvailable() bool { return wideAvailable() }
+
+// SetWide enables or disables the wide kernel for Hashers created after
+// the call (existing Hashers keep the mode they were built with) and
+// reports whether the kernel is now in use — always false when
+// WideAvailable is. Both modes compute the identical hash function; the
+// toggle exists so benchmarks and conformance tests can pit them against
+// each other in one binary.
+func SetWide(on bool) bool {
+	wideOff.Store(!on)
+	return wideEnabled()
+}
+
+func wideEnabled() bool { return wideAvailable() && !wideOff.Load() }
+
 // Hasher computes the correlation-robust garbling hash
 // H(L, t) = AES_fixed(2L ⊕ t) ⊕ (2L ⊕ t). A Hasher is NOT safe for
 // concurrent use — every worker owns a private one (gc.Pool) — which is
@@ -92,10 +129,23 @@ var fixedKey = [16]byte{
 // stack arrays that escape through the cipher.Block interface call on
 // every gate (two heap allocations per hash, the dominant allocation of
 // the whole protocol before they were hoisted here).
+//
+// Beyond the scalar H, a Hasher exposes a multi-lane face: up to
+// HashLanes independent hashes per call (HN, and the staged-lane path
+// the gate cores feed), backed on amd64 by an assembly kernel that
+// interleaves 8 AESENC streams per round so the hardware AES pipeline
+// stays full, with a pure-Go fallback that loops the scalar path.
 type Hasher struct {
 	block cipher.Block
 	kbuf  []byte
 	obuf  []byte
+
+	// wide selects the 8-block AESENC kernel, latched at construction
+	// from CPU feature detection (and the SetWide toggle).
+	wide bool
+	// lanes is the staging buffer of the multi-lane path: callers write
+	// key blocks 2L ⊕ t, hashStaged replaces them with their hashes.
+	lanes [HashLanes]Label
 }
 
 // NewHasher builds the fixed-key hasher.
@@ -105,18 +155,71 @@ func NewHasher() *Hasher {
 		// aes.NewCipher only fails on bad key sizes; 16 is valid.
 		panic(fmt.Sprintf("gc: fixed-key AES init: %v", err))
 	}
-	return &Hasher{block: block, kbuf: make([]byte, LabelSize), obuf: make([]byte, LabelSize)}
+	return &Hasher{
+		block: block,
+		kbuf:  make([]byte, LabelSize),
+		obuf:  make([]byte, LabelSize),
+		wide:  wideEnabled(),
+	}
 }
+
+// Wide reports whether this Hasher runs the 8-block pipelined kernel.
+func (h *Hasher) Wide() bool { return h.wide }
 
 // H computes the hash of label l under tweak t.
 func (h *Hasher) H(l Label, t uint64) Label {
-	k := double(l)
-	binary.LittleEndian.PutUint64(k[0:8], binary.LittleEndian.Uint64(k[0:8])^t)
+	return h.hashKey(xorTweak(double(l), t))
+}
+
+// hashKey is the scalar Davies–Meyer core over a precomputed key block
+// k = 2L ⊕ t: AES_fixed(k) ⊕ k through Go's crypto/aes.
+func (h *Hasher) hashKey(k Label) Label {
 	copy(h.kbuf, k[:])
 	h.block.Encrypt(h.obuf, h.kbuf)
 	var out Label
 	copy(out[:], h.obuf)
 	return out.XOR(k)
+}
+
+// hashStaged replaces the first n staged lanes — key blocks 2L ⊕ t
+// written into h.lanes by the caller — with their Davies–Meyer hashes
+// AES_fixed(k) ⊕ k, in place. n must be at most HashLanes. The wide
+// kernel always runs all 8 lanes branch-free (an AES unit pipelined 8
+// deep finishes 8 blocks in the latency of one, so unused lanes cost
+// nothing; their stale bytes are simply overwritten).
+func (h *Hasher) hashStaged(n int) {
+	if h.wide {
+		hashLanesWide(&h.lanes)
+		return
+	}
+	for i := 0; i < n; i++ {
+		h.lanes[i] = h.hashKey(h.lanes[i])
+	}
+}
+
+// HN computes dst[i] = H(labels[i], tweaks[i]) for every label, feeding
+// the pipelined 8-lane AES kernel HashLanes blocks at a time where
+// available (longer slices are processed in 8-lane waves). It is
+// byte-identical to len(labels) scalar H calls on every build — the
+// fallback loops the scalar path — which the hash conformance tests pin.
+// dst and tweaks must be at least as long as labels; dst may alias
+// labels.
+func (h *Hasher) HN(dst, labels []Label, tweaks []uint64) {
+	if len(dst) < len(labels) || len(tweaks) < len(labels) {
+		panic(fmt.Sprintf("gc: HN dst/tweaks shorter than labels (%d/%d/%d)",
+			len(dst), len(tweaks), len(labels)))
+	}
+	for off := 0; off < len(labels); off += HashLanes {
+		n := len(labels) - off
+		if n > HashLanes {
+			n = HashLanes
+		}
+		for i := 0; i < n; i++ {
+			h.lanes[i] = xorTweak(double(labels[off+i]), tweaks[off+i])
+		}
+		h.hashStaged(n)
+		copy(dst[off:off+n], h.lanes[:n])
+	}
 }
 
 // RandomLabel draws a fresh label from rng.

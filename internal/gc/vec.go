@@ -1,6 +1,7 @@
 package gc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -29,12 +30,16 @@ import (
 
 // BatchGarbler is the garbling state for one batched inference of B
 // independent samples. It is the vectorized counterpart of Garbler; the
-// two share the half-gates cryptography (garbleANDCore).
+// two share the half-gates cryptography (garbleANDWide).
 type BatchGarbler struct {
 	// R holds the per-sample Free-XOR deltas (len B): samples are
 	// cryptographically independent instances, exactly as if each ran its
 	// own inference.
 	R []Label
+	// r2 caches double(R[s]) per sample (see Garbler.r2): doubling is
+	// GF(2)-linear, so every one-label's hash key derives from its
+	// zero-label's double with one XOR.
+	r2 []Label
 
 	b      int
 	rng    io.Reader
@@ -56,13 +61,14 @@ func NewBatchGarbler(rng io.Reader, b int) (*BatchGarbler, error) {
 	if b < 1 {
 		return nil, fmt.Errorf("gc: batch size %d < 1", b)
 	}
-	g := &BatchGarbler{b: b, rng: rng, R: make([]Label, b)}
+	g := &BatchGarbler{b: b, rng: rng, R: make([]Label, b), r2: make([]Label, b)}
 	for s := range g.R {
 		r, err := RandomDelta(rng)
 		if err != nil {
 			return nil, err
 		}
 		g.R[s] = r
+		g.r2[s] = double(r)
 	}
 	for _, w := range []uint32{circuit.WFalse, circuit.WTrue} {
 		if err := g.AssignInput(w); err != nil {
@@ -182,6 +188,14 @@ func (g *BatchGarbler) GarbleLevel(ands, frees []circuit.Gate, gidBase uint64, t
 		return fmt.Errorf("gc: batch garble table is %d bytes, want %d", len(table), len(ands)*b*TableSize)
 	}
 	err := pool.runScaled(len(ands), len(frees), b, func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		// Lanes gather over flattened (gate, sample) instances: samples
+		// within a gate fill first, and units carry across gate boundaries
+		// so small-B batches still run full 8-lane waves. out points
+		// straight into the label array — safe because units capture their
+		// inputs by value and level independence keeps staged reads and
+		// writes disjoint.
+		var us [garbleUnits]andUnit
+		nu := 0
 		for i := andLo; i < andHi; i++ {
 			gt := ands[i]
 			aBase, err := g.base(gt.A)
@@ -200,11 +214,22 @@ func (g *BatchGarbler) GarbleLevel(ands, frees []circuit.Gate, gidBase uint64, t
 			j0, j1 := 2*gid, 2*gid+1
 			dst := table[i*b*TableSize : (i+1)*b*TableSize]
 			for s := 0; s < b; s++ {
-				g.labels[oBase+s] = garbleANDCore(h, g.labels[aBase+s], g.labels[bBase+s], g.R[s],
-					j0, j1, dst[s*TableSize:(s+1)*TableSize])
+				us[nu] = andUnit{
+					a0: g.labels[aBase+s], b0: g.labels[bBase+s],
+					r: g.R[s], r2: g.r2[s],
+					j0: j0, j1: j1,
+					dst: dst[s*TableSize : (s+1)*TableSize],
+					out: &g.labels[oBase+s],
+				}
+				nu++
+				if nu == garbleUnits {
+					garbleANDWide(h, &us, nu)
+					nu = 0
+				}
 			}
 			g.have[gt.Out] = true
 		}
+		garbleANDWide(h, &us, nu)
 		for i := freeLo; i < freeHi; i++ {
 			if err := g.garbleFreeVec(frees[i]); err != nil {
 				return err
@@ -254,18 +279,32 @@ func (g *BatchGarbler) garbleFreeVec(gt circuit.Gate) error {
 		if err != nil {
 			return err
 		}
-		for s := 0; s < g.b; s++ {
-			g.labels[oBase+s] = g.labels[aBase+s].XOR(g.labels[bBase+s])
-		}
+		xorLabels(g.labels[oBase:oBase+g.b], g.labels[aBase:aBase+g.b], g.labels[bBase:bBase+g.b])
 	case circuit.INV:
-		for s := 0; s < g.b; s++ {
-			g.labels[oBase+s] = g.labels[aBase+s].XOR(g.R[s])
-		}
+		xorLabels(g.labels[oBase:oBase+g.b], g.labels[aBase:aBase+g.b], g.R)
 	default:
 		return fmt.Errorf("gc: cannot batch-garble op %v", gt.Op)
 	}
 	g.have[gt.Out] = true
 	return nil
+}
+
+// xorLabels sets dst[i] = a[i] ⊕ b[i] over equal-length label slices,
+// XORing as two uint64 words per label instead of 16 bytes — the free
+// gates of the SoA engines are pure label XOR, so this loop is their
+// whole cost. Element-wise in-place aliasing (dst overlapping a or b at
+// the same index) is fine; Go's [16]byte layout makes the word loads
+// exact reinterpretations.
+func xorLabels(dst, a, b []Label) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic("gc: xorLabels length mismatch")
+	}
+	for i := range dst {
+		x0 := binary.LittleEndian.Uint64(a[i][0:8]) ^ binary.LittleEndian.Uint64(b[i][0:8])
+		x1 := binary.LittleEndian.Uint64(a[i][8:16]) ^ binary.LittleEndian.Uint64(b[i][8:16])
+		binary.LittleEndian.PutUint64(dst[i][0:8], x0)
+		binary.LittleEndian.PutUint64(dst[i][8:16], x1)
+	}
 }
 
 // BatchEvaluator is the evaluation state for one batched inference: the
@@ -356,6 +395,10 @@ func (e *BatchEvaluator) EvaluateLevel(ands, frees []circuit.Gate, gidBase uint6
 		return fmt.Errorf("gc: batch evaluate table is %d bytes, want %d", len(table), len(ands)*b*TableSize)
 	}
 	return pool.runScaled(len(ands), len(frees), b, func(h *Hasher, andLo, andHi, freeLo, freeHi int) error {
+		// Flattened (gate, sample) lane gathering, the mirror of
+		// GarbleLevel's.
+		var us [evalUnits]evalUnit
+		nu := 0
 		for i := andLo; i < andHi; i++ {
 			gt := ands[i]
 			aBase, err := e.base(gt.A)
@@ -374,11 +417,21 @@ func (e *BatchEvaluator) EvaluateLevel(ands, frees []circuit.Gate, gidBase uint6
 			j0, j1 := 2*gid, 2*gid+1
 			tab := table[i*b*TableSize : (i+1)*b*TableSize]
 			for s := 0; s < b; s++ {
-				e.labels[oBase+s] = evalANDCore(h, e.labels[aBase+s], e.labels[bBase+s],
-					j0, j1, tab[s*TableSize:(s+1)*TableSize])
+				us[nu] = evalUnit{
+					a: e.labels[aBase+s], b: e.labels[bBase+s],
+					j0: j0, j1: j1,
+					tab: tab[s*TableSize : (s+1)*TableSize],
+					out: &e.labels[oBase+s],
+				}
+				nu++
+				if nu == evalUnits {
+					evalANDWide(h, &us, nu)
+					nu = 0
+				}
 			}
 			e.have[gt.Out] = true
 		}
+		evalANDWide(h, &us, nu)
 		for i := freeLo; i < freeHi; i++ {
 			if err := e.evalFreeVec(frees[i]); err != nil {
 				return err
@@ -404,9 +457,7 @@ func (e *BatchEvaluator) evalFreeVec(gt circuit.Gate) error {
 		if err != nil {
 			return err
 		}
-		for s := 0; s < e.b; s++ {
-			e.labels[oBase+s] = e.labels[aBase+s].XOR(e.labels[bBase+s])
-		}
+		xorLabels(e.labels[oBase:oBase+e.b], e.labels[aBase:aBase+e.b], e.labels[bBase:bBase+e.b])
 	case circuit.INV:
 		// Free inversion: the label carries through; only the garbler's
 		// semantics map flips.

@@ -8,6 +8,71 @@ import (
 	"deepsecure/internal/circuit"
 )
 
+// TestXORLabels pins the uint64 fast-path slice XOR to Label.XOR,
+// including element-wise in-place aliasing (dst = dst ⊕ b, the INV/XOR
+// free-gate shapes) and the length-mismatch panic.
+func TestXORLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		a := make([]Label, n)
+		b := make([]Label, n)
+		for i := range a {
+			rng.Read(a[i][:])
+			rng.Read(b[i][:])
+		}
+		want := make([]Label, n)
+		for i := range a {
+			want[i] = a[i].XOR(b[i])
+		}
+		dst := make([]Label, n)
+		xorLabels(dst, a, b)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d element %d: xorLabels %x, Label.XOR %x", n, i, dst[i], want[i])
+			}
+		}
+		inPlace := append([]Label(nil), a...)
+		xorLabels(inPlace, inPlace, b)
+		for i := range want {
+			if inPlace[i] != want[i] {
+				t.Fatalf("n=%d element %d: aliased xorLabels diverged", n, i)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("xorLabels length mismatch did not panic")
+		}
+	}()
+	xorLabels(make([]Label, 2), make([]Label, 3), make([]Label, 2))
+}
+
+func BenchmarkXORLabels(b *testing.B) {
+	const n = 1024
+	dst := make([]Label, n)
+	x := make([]Label, n)
+	y := make([]Label, n)
+	rng := rand.New(rand.NewSource(89))
+	for i := range x {
+		rng.Read(x[i][:])
+		rng.Read(y[i][:])
+	}
+	b.Run("xorLabels", func(b *testing.B) {
+		b.SetBytes(n * LabelSize)
+		for i := 0; i < b.N; i++ {
+			xorLabels(dst, x, y)
+		}
+	})
+	b.Run("LabelXOR", func(b *testing.B) {
+		b.SetBytes(n * LabelSize)
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = x[j].XOR(y[j])
+			}
+		}
+	})
+}
+
 // vecTestLevels is a tiny two-level circuit over input wires 2..5:
 // level 0: AND(2,3)→6, XOR(4,5)→7; level 1: AND(6,7)→8, INV(6)→9.
 type vecTestLevel struct {

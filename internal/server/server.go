@@ -46,6 +46,23 @@ type Stats struct {
 	// wall time sessions spent with at least two inferences overlapped.
 	MaxInFlight int64
 	OverlapTime time.Duration
+
+	// Crypto-core throughput across all sessions: gate instances
+	// evaluated (AND and free, summed over samples) and the cumulative
+	// wall time spent inside the per-level evaluation kernels — transport
+	// waits and OT excluded, so GatesPerSec isolates the hashing core.
+	ANDGates  int64
+	FreeGates int64
+	GateTime  time.Duration
+}
+
+// GatesPerSec returns the lifetime crypto-core throughput in gate
+// instances per second of kernel time, or 0 before any gates ran.
+func (st Stats) GatesPerSec() float64 {
+	if st.GateTime <= 0 {
+		return 0
+	}
+	return float64(st.ANDGates+st.FreeGates) / st.GateTime.Seconds()
 }
 
 // Server serves secure-inference sessions over TCP (or any net.Listener).
@@ -76,6 +93,9 @@ type Server struct {
 	otRefills   atomic.Int64
 	maxInFlight atomic.Int64
 	overlapNs   atomic.Int64
+	andGates    atomic.Int64
+	freeGates   atomic.Int64
+	gateTimeNs  atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -298,6 +318,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.otsConsumed.Add(st.OTsConsumed)
 		s.otRefills.Add(st.OTRefills)
 		s.overlapNs.Add(int64(st.OverlapTime))
+		s.andGates.Add(st.ANDGates)
+		s.freeGates.Add(st.FreeGates)
+		s.gateTimeNs.Add(int64(st.GateTime))
 		for {
 			cur := s.maxInFlight.Load()
 			if st.MaxInFlight <= cur || s.maxInFlight.CompareAndSwap(cur, st.MaxInFlight) {
@@ -311,13 +334,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.RemoteAddr(), sessionInferences(st), err)
 		return
 	}
-	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v (OT offline %v / online %v, %d pooled, %d derandomized, %d refill(s); pipeline peak %d in flight, %v overlapped)",
+	s.logf("session from %s: %d inference(s), %.2f MB out, %.2f MB in, %v (OT offline %v / online %v, %d pooled, %d derandomized, %d refill(s); pipeline peak %d in flight, %v overlapped; crypto core %.2f Mgates/s over %v)",
 		conn.RemoteAddr(), sessionInferences(st),
 		float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
 		time.Since(start).Round(time.Millisecond),
 		st.OTOfflineTime.Round(time.Millisecond), st.OTOnlineTime.Round(time.Millisecond),
 		st.OTsPooled, st.OTsConsumed, st.OTRefills,
-		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
+		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond),
+		st.GatesPerSec()/1e6, st.GateTime.Round(time.Millisecond))
 }
 
 func sessionInferences(st *core.Stats) int64 {
@@ -347,6 +371,9 @@ func (s *Server) Stats() Stats {
 		OTRefills:      s.otRefills.Load(),
 		MaxInFlight:    s.maxInFlight.Load(),
 		OverlapTime:    time.Duration(s.overlapNs.Load()),
+		ANDGates:       s.andGates.Load(),
+		FreeGates:      s.freeGates.Load(),
+		GateTime:       time.Duration(s.gateTimeNs.Load()),
 	}
 }
 

@@ -95,11 +95,17 @@ func TestTCPEndToEnd(t *testing.T) {
 		t.Errorf("stats not populated: %+v", st)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Stats().Inferences != 1 && time.Now().Before(deadline) {
+	for time.Now().Before(deadline) {
+		if got := srv.Stats(); got.Inferences == 1 && got.GateTime > 0 {
+			break
+		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	if got := srv.Stats(); got.Inferences != 1 || got.Sessions != 1 {
 		t.Errorf("server stats %+v, want 1 session / 1 inference", got)
+	}
+	if got := srv.Stats(); got.ANDGates == 0 || got.GateTime <= 0 || got.GatesPerSec() <= 0 {
+		t.Errorf("server crypto-core stats not populated: %d AND gates over %v", got.ANDGates, got.GateTime)
 	}
 }
 
