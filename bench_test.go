@@ -23,6 +23,7 @@ import (
 	"deepsecure/internal/costmodel"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/hebaseline"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
@@ -429,6 +430,68 @@ func BenchmarkOTExtension(b *testing.B) {
 		wg.Wait()
 	}
 	b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "OTs/s")
+}
+
+// BenchmarkOTRowHash isolates the IKNP row-hashing change: the 2m sender
+// hashes and m receiver hashes per extension batch now flow through the
+// multi-lane HN face instead of per-row scalar H calls. Both rows run the
+// identical full exchange — PRG expansion, transpose, transport — with
+// only the hashing kernel toggled, so the scalar→wide delta is the
+// row-hash win. The rows are recorded in BENCH_ot.json.
+func BenchmarkOTRowHash(b *testing.B) {
+	const m = 4096
+	rng := rand.New(rand.NewSource(47))
+	pairs := make([][2]ot.Msg, m)
+	choices := make([]bool, m)
+	for i := range pairs {
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+		choices[i] = rng.Intn(2) == 1
+	}
+	run := func(b *testing.B, wide bool) {
+		if wide && !gc.WideAvailable() {
+			b.Skip("AES-NI wide kernel unavailable on this machine")
+		}
+		// Hashers latch the wide toggle at construction, so both parties
+		// must be built inside the toggled scope.
+		prev := gc.SetWide(wide)
+		defer gc.SetWide(prev)
+		a, c, closer := transport.Pipe()
+		defer closer.Close()
+		var snd *ot.ExtSender
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			snd, err = ot.NewExtSender(a, rand.New(rand.NewSource(48)))
+			if err != nil {
+				b.Error(err)
+			}
+		}()
+		rcv, err := ot.NewExtReceiver(c, rand.New(rand.NewSource(49)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := snd.Send(pairs); err != nil {
+					b.Error(err)
+				}
+			}()
+			if _, err := rcv.Receive(choices); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "OTs/s")
+	}
+	b.Run("scalar", func(b *testing.B) { run(b, false) })
+	b.Run("wide", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkHEPrimitives measures the HE baseline's primitive costs.
@@ -1175,6 +1238,144 @@ func BenchmarkSessionBatch(b *testing.B) {
 				}
 				b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "inf/s")
 				b.ReportMetric(float64(otExchanges)/float64(batch*b.N), "otExchanges/inf")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+			})
+		}
+	}
+}
+
+// BenchmarkSessionOffline measures the garble-ahead execution bank: the
+// offline/online split extended from OTs to whole inferences, on a 25 ms
+// WAN model. Session setup — handshake, OT base phase, the pool's bulk
+// OT fill, and the bank fill (Session.FillBank) — runs outside the
+// timer: that is the offline phase the bank exists to absorb. The timed
+// region is the online path only: with a warm bank it is input-label
+// selection, stream writes from the bank, and the OT derandomization
+// exchanges; bank-off it additionally garbles every gate live. The OT
+// pool is sized to cover a whole iteration so no refill crypto lands in
+// the timed region, and bank rows run the server with SpeculativeOT (the
+// pairing the bank makes matter: once garbling is gone, the ordered OT
+// exchange is the dominant online step). B=1 runs four pipelined single
+// inferences per iteration; B=16 one fused batch. The ≥2× bankWarm vs
+// bankOff acceptance row at B=1 and the ~0 onlineGarbleMs/inf for bank
+// hits are committed as BENCH_offline.json.
+func BenchmarkSessionOffline(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(64),
+		nn.NewDense(24),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(8),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(98)))
+	const delay = 25 * time.Millisecond
+	rng := rand.New(rand.NewSource(99))
+	xs := make([][]float64, 16)
+	for i := range xs {
+		xs[i] = make([]float64, 64)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		bank bool
+	}{
+		{"bankOff", false},
+		{"bankWarm", true},
+	} {
+		mode := mode
+		for _, batch := range []int{1, 16} {
+			batch := batch
+			b.Run(fmt.Sprintf("%s/B=%d", mode.name, batch), func(b *testing.B) {
+				k := 4 // B=1: pipelined singles per iteration
+				if batch > 1 {
+					k = batch
+				}
+				// Covers an iteration's full OT demand (k × weight bits)
+				// in the setup fill; low water 1 so nothing triggers a
+				// mid-session refill into the timed region.
+				pool := precomp.PoolConfig{Capacity: 1 << 19, RefillLowWater: 1}
+				srvCfg := core.EngineConfig{Pipeline: 2, MaxBatch: batch, SpeculativeOT: mode.bank}
+				srv := &core.Server{Net: net, Fmt: fixed.Default, Engine: srvCfg, OTPool: pool}
+				if err := srv.Precompile(); err != nil {
+					b.Fatal(err)
+				}
+				cliCfg := core.EngineConfig{Pipeline: 2, MaxBatch: batch}
+				if mode.bank {
+					cliCfg.Bank = bank.Config{Depth: k, LowWater: 1}
+				}
+				cli := &core.Client{Engine: cliCfg}
+				defer cli.Close()
+				var gate, refill time.Duration
+				var hits, misses int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cConn, sConn, closer := latencyPipe(delay)
+					var wg sync.WaitGroup
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := srv.ServeSession(sConn); err != nil {
+							b.Error(err)
+							// Unblock the client side so a server-side
+							// regression fails the bench instead of
+							// wedging it.
+							closer.Close()
+						}
+					}()
+					sess, err := cli.NewSession(cConn)
+					if err != nil {
+						closer.Close()
+						b.Fatal(err)
+					}
+					if err := sess.FillBank(); err != nil {
+						closer.Close()
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if batch == 1 {
+						ps := make([]*core.PendingInference, 0, k)
+						for j := 0; j < k; j++ {
+							p, err := sess.InferAsync(xs[j])
+							if err != nil {
+								closer.Close()
+								b.Fatal(err)
+							}
+							ps = append(ps, p)
+						}
+						for _, p := range ps {
+							if _, _, err := p.Wait(); err != nil {
+								closer.Close()
+								b.Fatal(err)
+							}
+						}
+					} else if _, _, err := sess.InferBatch(xs[:batch]); err != nil {
+						closer.Close()
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					st := sess.Stats()
+					gate += st.GateTime
+					refill += st.BankRefillTime
+					hits += st.BankHits
+					misses += st.BankMisses
+					if err := sess.Close(); err != nil {
+						b.Fatal(err)
+					}
+					wg.Wait()
+					closer.Close()
+					b.StartTimer()
+				}
+				b.StopTimer()
+				inf := float64(k * b.N)
+				b.ReportMetric(inf/b.Elapsed().Seconds(), "inf/s")
+				b.ReportMetric(gate.Seconds()*1e3/inf, "onlineGarbleMs/inf")
+				b.ReportMetric(refill.Seconds()*1e3/inf, "offlineGarbleMs/inf")
+				b.ReportMetric(float64(hits)/inf, "bankHits/inf")
+				b.ReportMetric(float64(misses)/inf, "bankMisses/inf")
 				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 			})
 		}

@@ -63,6 +63,10 @@ func main() {
 	otPool := flag.Int("ot-pool", 1<<16, "random-OT pool capacity per session (0 = no precomputation, IKNP online)")
 	otLowWater := flag.Int("ot-low-water", 0, "refill the OT pool when fewer remain (0 = capacity/4)")
 	otBackground := flag.Bool("ot-background", true, "precompute OT refills on a background goroutine")
+	otSpeculative := flag.Bool("ot-speculative", false, "issue each inference's OT corrections in one flight at its first evaluator step (frees the pool turn for the next in-flight inference)")
+	bankDepth := flag.Int("bank-depth", 0, "garble-ahead bank policy depth in the session engine config; also enables speculative OT (0 = banking off; the bank itself fills on garbling clients)")
+	bankLowWater := flag.Int("bank-low-water", 0, "refill the garble-ahead bank when fewer executions remain (0 = depth/4)")
+	bankBackground := flag.Bool("bank-background", true, "refill the garble-ahead bank on a background goroutine")
 	flag.Parse()
 
 	net0, err := buildModel(*model)
@@ -77,12 +81,19 @@ func main() {
 		RefillLowWater: *otLowWater,
 		Background:     *otBackground,
 	}
+	bankCfg := deepsecure.BankConfig{
+		Depth:      *bankDepth,
+		LowWater:   *bankLowWater,
+		Background: *bankBackground,
+	}
 	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
 		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
 		deepsecure.WithIdleTimeout(*idle),
 		deepsecure.WithOTPool(poolCfg),
 		deepsecure.WithPipeline(*pipeline),
-		deepsecure.WithMaxBatch(*maxBatch))
+		deepsecure.WithMaxBatch(*maxBatch),
+		deepsecure.WithBank(bankCfg),
+		deepsecure.WithSpeculativeOT(*otSpeculative || bankCfg.Enabled()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,6 +106,13 @@ func main() {
 			eff.Capacity, eff.RefillLowWater, eff.Background)
 	} else {
 		log.Printf("OT precomputation off: weight transfers run IKNP online")
+	}
+	if *otSpeculative || bankCfg.Enabled() {
+		log.Printf("speculative OT consumption on: each inference's corrections go out in one flight at its first evaluator step")
+	}
+	if eff := bankCfg.Effective(); eff.Enabled() {
+		log.Printf("garble-ahead bank policy: depth %d, refill below %d (background=%v); banks fill on garbling clients",
+			eff.Depth, eff.LowWater, eff.Background)
 	}
 	if depth := (deepsecure.EngineConfig{Pipeline: *pipeline}).PipelineDepth(); depth == 1 {
 		log.Printf("cross-inference pipelining off: inferences on a session run serially")

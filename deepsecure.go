@@ -29,6 +29,7 @@ import (
 	"deepsecure/internal/core"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot/precomp"
@@ -104,6 +105,22 @@ type (
 	// NewServer via WithOTPool; clients need no configuration (they
 	// follow the server's in-band announcement).
 	PoolConfig = precomp.PoolConfig
+	// BankConfig sizes a garble-ahead execution bank (the offline/online
+	// split extended from OTs to whole inferences): Depth pre-garbled
+	// executions are filled at session setup and refilled below LowWater
+	// (Background moves refills onto a helper goroutine); SpillDir spills
+	// each execution's table bytes to disk. Set it on a Client via
+	// EngineConfig.Bank — the client is the garbler, so the bank lives
+	// there; a session whose take hits the bank skips online garbling
+	// entirely. On a server, pass it to NewServer via WithBank to enable
+	// the matching speculative OT consumption. The zero value disables
+	// banking.
+	BankConfig = bank.Config
+	// BankStats counts a bank's offline and online activity (hits,
+	// misses, executions banked, refill wall time). Session.BankStats
+	// reports the shared per-program bank; per-session hit/miss splits
+	// ride InferStats.
+	BankStats = bank.Stats
 	// SessionServer answers secure-inference sessions on caller-provided
 	// connections (the conn-level counterpart of InferenceServer) with
 	// explicit randomness, engine, and OT-pool configuration.
@@ -134,6 +151,16 @@ var (
 	// announces and enforces: one InferBatch call fuses up to n samples
 	// into a single schedule walk and OT exchange (0 = DefaultMaxBatch).
 	WithMaxBatch = server.WithMaxBatch
+	// WithBank installs the garble-ahead bank policy in the server's
+	// session engine configuration and enables speculative OT consumption
+	// when the bank is enabled (banked clients make the ordered OT
+	// exchange the dominant online step).
+	WithBank = server.WithBank
+	// WithSpeculativeOT toggles speculative OT consumption on its own:
+	// each inference's derandomization corrections go out in one flight
+	// at its first evaluator step, freeing the OT-pool turn for the next
+	// in-flight inference immediately.
+	WithSpeculativeOT = server.WithSpeculativeOT
 )
 
 // DefaultPipelineDepth is the in-flight window used when

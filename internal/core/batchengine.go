@@ -222,6 +222,12 @@ type batchEvalEngine struct {
 	evalSteps int
 	stepsDone int
 
+	// Speculative issue/collect (see evalEngine.spec): the batch issues
+	// all steps' corrections — each wire's bit expanded ×B — in one
+	// flight and collects per step.
+	spec    bool
+	specPrs []*precomp.PendingReceive
+
 	progress *atomic.Int64
 
 	pending   []byte
@@ -275,6 +281,28 @@ func (en *batchEvalEngine) doInputs(st *circuit.Step) error {
 				var l gc.Label
 				copy(l[:], payload[(i*en.b+s)*gc.LabelSize:])
 				en.e.SetLabel(w, s, l)
+			}
+		}
+		return nil
+	}
+	if en.spec {
+		if en.stepsDone == 0 {
+			prs, err := speculativeIssue(en.ots, en.seq, en.seqTurn, en.sched, en.inputBits, en.b)
+			if err != nil {
+				return err
+			}
+			en.specPrs = prs
+		}
+		pr := en.specPrs[en.stepsDone]
+		en.stepsDone++
+		msgs, err := pr.Collect()
+		if err != nil {
+			return err
+		}
+		en.cursor += len(st.Wires)
+		for i, w := range st.Wires {
+			for s := 0; s < en.b; s++ {
+				en.e.SetLabel(w, s, gc.Label(msgs[i*en.b+s]))
 			}
 		}
 		return nil

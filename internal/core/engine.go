@@ -9,6 +9,7 @@ import (
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
@@ -67,6 +68,28 @@ type EngineConfig struct {
 	// is min(its own MaxBatch, the announcement). 0 defaults to
 	// DefaultMaxBatch; values clamp to [1, 256].
 	MaxBatch int
+	// Bank, when enabled (Depth > 0), pre-garbles whole inferences on
+	// the client during idle time (garble-ahead execution banks): the
+	// session fills a per-program bank at setup and refills it behind a
+	// low-water policy, and each inference that finds a banked execution
+	// skips garbling entirely — the online critical path is label
+	// selection, stream writes from the bank, and the OT derandomization
+	// exchange. Exhaustion transparently falls back to live garbling.
+	// Client-side only; servers ignore it. Memory cost per banked
+	// execution ≈ the circuit's table bytes (ANDs × 32) plus input and
+	// output labels — budget Depth accordingly or set Bank.SpillDir.
+	Bank bank.Config
+	// SpeculativeOT loosens the server's per-inference OT-pool
+	// sequencing on pipelined sessions: an inference issues ALL of its
+	// input steps' derandomization corrections at its first evaluator
+	// step (releasing the pool turn immediately) and collects the
+	// responses in ticket order as the walk reaches each step, so
+	// inference k+1's corrections overlap inference k's evaluation tail
+	// and the per-step round-trips of one inference collapse into a
+	// single flight. Server-side only; it changes server→client frame
+	// timing but not frame order, and requires an enabled OT pool (it is
+	// a no-op otherwise).
+	SpeculativeOT bool
 }
 
 // DefaultPipelineDepth is the in-flight window applied when
@@ -387,6 +410,14 @@ type evalEngine struct {
 	evalSteps int
 	stepsDone int
 
+	// spec switches OT consumption to the speculative issue/collect
+	// protocol (EngineConfig.SpeculativeOT): at the first evaluator-input
+	// step the engine issues ALL steps' corrections in one flight and
+	// releases the pool turn immediately; each step then collects its
+	// response in ticket order. Requires an enabled pool.
+	spec    bool
+	specPrs []*precomp.PendingReceive
+
 	// progress, when set, is bumped once per evaluated level so
 	// idle-timeout transport wrappers can tell "quiet because the
 	// evaluation tail is still computing" from a stalled peer.
@@ -444,6 +475,26 @@ func (en *evalEngine) doInputs(st *circuit.Step) error {
 		}
 		return nil
 	}
+	if en.spec {
+		if en.stepsDone == 0 {
+			prs, err := speculativeIssue(en.ots, en.seq, en.seqTurn, en.sched, en.inputBits, 1)
+			if err != nil {
+				return err
+			}
+			en.specPrs = prs
+		}
+		pr := en.specPrs[en.stepsDone]
+		en.stepsDone++
+		msgs, err := pr.Collect()
+		if err != nil {
+			return err
+		}
+		en.cursor += len(st.Wires)
+		for i, w := range st.Wires {
+			en.e.SetLabel(w, gc.Label(msgs[i]))
+		}
+		return nil
+	}
 	choices := make([]bool, len(st.Wires))
 	for i := range st.Wires {
 		if en.cursor >= len(en.inputBits) {
@@ -476,6 +527,61 @@ func (en *evalEngine) doInputs(st *circuit.Step) error {
 		en.e.SetLabel(w, gc.Label(msgs[i]))
 	}
 	return nil
+}
+
+// speculativeChoices slices the evaluator's full input-bit stream into
+// one choice vector per evaluator-input step (each wire's bit repeated b
+// times, samples innermost, for a batched engine) — the whole
+// inference's OT demand, computable before any step runs because only
+// evaluator steps consume the stream.
+func speculativeChoices(sched *circuit.Schedule, inputBits []bool, b int) ([][]bool, error) {
+	var steps [][]bool
+	cur := 0
+	for si := range sched.Steps {
+		st := &sched.Steps[si]
+		if st.Kind != circuit.StepInputs || st.Party != circuit.Evaluator {
+			continue
+		}
+		choices := make([]bool, len(st.Wires)*b)
+		for i := range st.Wires {
+			if cur >= len(inputBits) {
+				return nil, fmt.Errorf("core: evaluator input underrun at wire %d", st.Wires[i])
+			}
+			for s := 0; s < b; s++ {
+				choices[i*b+s] = inputBits[cur]
+			}
+			cur++
+		}
+		steps = append(steps, choices)
+	}
+	return steps, nil
+}
+
+// speculativeIssue runs the issue half of the speculative OT protocol
+// for one inference: under the pool-order turn, put every step's
+// corrections on the wire, then release the turn immediately — the
+// FIFO state is fully advanced, so the next inference's corrections
+// overlap this one's evaluation and collects. A failed issue holds the
+// turn (the pool is desynchronized; teardown's Abort unblocks waiters),
+// mirroring the non-speculative engines' failed-exchange policy.
+func speculativeIssue(ots *precomp.ReceiverPool, seq *precomp.Sequencer, turn int64, sched *circuit.Schedule, inputBits []bool, b int) ([]*precomp.PendingReceive, error) {
+	steps, err := speculativeChoices(sched, inputBits, b)
+	if err != nil {
+		return nil, err
+	}
+	if seq != nil {
+		if err := seq.Acquire(turn); err != nil {
+			return nil, err
+		}
+	}
+	prs, err := ots.IssueAll(steps)
+	if err != nil {
+		return nil, err
+	}
+	if seq != nil {
+		seq.Release(turn)
+	}
+	return prs, nil
 }
 
 func (en *evalEngine) doOutputs(st *circuit.Step) error {

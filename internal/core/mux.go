@@ -202,7 +202,8 @@ type sessionMux struct {
 	cfg   EngineConfig
 
 	weightBits []bool
-	evalSteps  int // evaluator-input steps per inference (from the schedule)
+	evalSteps  int  // evaluator-input steps per inference (from the schedule)
+	spec       bool // speculative OT issue/collect is active this session
 
 	events  chan muxEvent
 	stop    chan struct{}
@@ -234,6 +235,17 @@ func newSessionMux(srv *Server, conn *transport.Conn, mc *muxConn, otp *precomp.
 		}
 	}
 	depth := srv.Engine.pipeline()
+	// Speculative OT needs pooled entries to issue against and at least
+	// one evaluator-input step to speculate on; otherwise it degrades to
+	// the strict per-inference order with zero behavior change.
+	spec := srv.Engine.SpeculativeOT && otp.Pooled() && evalSteps > 0
+	if spec {
+		// Every in-flight inference may have all of its responses routed
+		// but uncollected at once; resize the OT inbox so legitimate
+		// speculative traffic never trips the unsolicited-frame check.
+		// Safe here: the mux is not started, no reader routes yet.
+		mc.otCh = make(chan frame, 2+depth*evalSteps)
+	}
 	return &sessionMux{
 		srv:        srv,
 		conn:       conn,
@@ -245,6 +257,7 @@ func newSessionMux(srv *Server, conn *transport.Conn, mc *muxConn, otp *precomp.
 		cfg:        srv.Engine,
 		weightBits: weightBits,
 		evalSteps:  evalSteps,
+		spec:       spec,
 		events:     make(chan muxEvent, 1),
 		stop:       mc.stop,
 		ctxs:       make(map[uint64]*evalCtx, depth),
@@ -264,6 +277,7 @@ func (m *sessionMux) run(st *Stats) error {
 	m.mc.started = true
 	go m.readLoop()
 	defer m.seqr.Abort() // unblock any context still gated on the pool order
+	defer m.otp.Abort()  // and any speculative collector gated on the ticket order
 	defer close(m.stop)
 
 	done := 0
@@ -281,6 +295,7 @@ func (m *sessionMux) run(st *Stats) error {
 			// a later context blocked in Acquire would otherwise never
 			// emit its event and this loop would wait for it forever.
 			m.seqr.Abort()
+			m.otp.Abort()
 		} else {
 			done++
 			switch {
@@ -293,6 +308,7 @@ func (m *sessionMux) run(st *Stats) error {
 				// A torn context may have died holding its pool turn
 				// without Releasing; wake any context gated behind it.
 				m.seqr.Abort()
+				m.otp.Abort()
 			default:
 				m.finishStats(st)
 				return ev.err
@@ -621,6 +637,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			seq:       m.seqr,
 			seqTurn:   int64(c.id),
 			evalSteps: m.evalSteps,
+			spec:      m.spec,
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}
@@ -646,6 +663,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			seq:       m.seqr,
 			seqTurn:   int64(c.id),
 			evalSteps: m.evalSteps,
+			spec:      m.spec,
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}

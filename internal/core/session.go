@@ -30,6 +30,7 @@ import (
 
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot"
@@ -88,6 +89,19 @@ type Stats struct {
 	// excluded. With pipelining, concurrent inferences' kernel intervals
 	// may overlap, so GateTime can exceed the session's wall time.
 	GateTime time.Duration
+
+	// Garble-ahead execution banks (client-side): inferences served from
+	// a pre-garbled banked execution vs. ones that fell back to live
+	// garbling (bank disabled, drained, or its spill unreadable), and
+	// the offline wall time this client spent garbling executions into
+	// the bank since the session opened. A bank hit pays no online
+	// garbling, so its GateTime contribution is zero. The bank is shared
+	// per program across the client's sessions, so concurrent sessions'
+	// refill time overlaps in BankRefillTime the way pipelined traffic
+	// overlaps in byte counts.
+	BankHits       int64
+	BankMisses     int64
+	BankRefillTime time.Duration
 }
 
 // GatesPerSec returns the crypto-core throughput: gate-instances (AND +
@@ -276,6 +290,40 @@ type Client struct {
 
 	mu    sync.Mutex
 	progs map[string]*netgen.Program
+	banks map[string]*bank.Bank
+}
+
+// bankFor returns the client's garble-ahead bank for the given spec,
+// creating it (empty — sessions fill it) on first use. Like the
+// compiled program, one bank is shared by every session of the same
+// model: banked executions are program-scoped, not session-scoped.
+func (c *Client) bankFor(specData []byte, prog *netgen.Program) *bank.Bank {
+	key := string(specData)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.banks[key]; ok {
+		return b
+	}
+	if c.banks == nil {
+		c.banks = make(map[string]*bank.Bank)
+	}
+	b := bank.New(prog.Schedule, rngOrDefault(c.Rng), c.Engine.workers(), c.Engine.Bank)
+	c.banks[key] = b
+	return b
+}
+
+// Close releases the client's garble-ahead banks: background refills
+// stop and every banked execution is zeroed (spill files removed).
+// Open sessions keep working — their takes just miss and fall back to
+// live garbling. A Client without banks needs no Close.
+func (c *Client) Close() {
+	c.mu.Lock()
+	banks := c.banks
+	c.banks = nil
+	c.mu.Unlock()
+	for _, b := range banks {
+		b.Close()
+	}
 }
 
 // program returns the compiled tape for the given public spec, compiling
@@ -355,6 +403,15 @@ type Session struct {
 	chunkBuf []byte
 	labelBuf []byte
 	tagBuf   []byte
+
+	// Garble-ahead execution bank (nil when EngineConfig.Bank is off):
+	// shared per program across the client's sessions; bank0 snapshots
+	// its refill-time counter at session start so Stats reports this
+	// session's share.
+	bank       *bank.Bank
+	bank0      bank.Stats
+	bankHits   int64
+	bankMisses int64
 }
 
 // clientOTConn is the client session's OT-protocol face: a passthrough
@@ -517,6 +574,18 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		return nil, err
 	}
 	s.ots = otp
+	// Garble-ahead bank: the initial fill is this session's offline
+	// cost, paid at setup like the OT pool fill above (and AFTER it, so
+	// with a shared deterministic rng the draw sequence matches a
+	// bank-off session's — the transcript-conformance property).
+	if c.Engine.Bank.Enabled() {
+		bk := c.bankFor(specData, prog)
+		s.bank0 = bk.Stats() // before the fill: its cost is this session's offline time
+		if err := bk.Fill(); err != nil {
+			return nil, err
+		}
+		s.bank = bk
+	}
 	return s, nil
 }
 
@@ -552,10 +621,14 @@ type PendingInference struct {
 
 	// Gate counters and kernel time captured at garble time (the garbler
 	// itself, with its schedule-sized label array, is released as soon
-	// as the stream is flushed).
+	// as the stream is flushed). A bank hit garbles nothing online, so
+	// its gateTime is zero while the gate counters still report the
+	// banked execution's circuit size.
 	andGates  int64
 	freeGates int64
 	gateTime  time.Duration
+	bankHit   bool
+	bankMiss  bool
 
 	done   bool
 	labels []int
@@ -655,6 +728,12 @@ func (s *Session) resolveOutput(typ transport.MsgType, payload []byte) error {
 		GateTime:      p.gateTime,
 		Inferences:    int64(p.batch),
 	}
+	if p.bankHit {
+		p.st.BankHits = int64(p.batch)
+	}
+	if p.bankMiss {
+		p.st.BankMisses = int64(p.batch)
+	}
 	p.st.addOT(otDelta(s.ots.Stats(), p.ot0))
 	p.done = true
 	s.inferences += int64(p.batch)
@@ -713,6 +792,21 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	if err := s.conn.Send(transport.MsgInferBegin, s.tagBuf); err != nil {
 		return fail(err)
 	}
+	// Garble-ahead fast path: a banked execution already holds this
+	// inference's delta, labels, and full table stream — the online work
+	// is label selection and zero-copy stream writes, byte-identical to
+	// what live garbling would produce from the same rng state. A miss
+	// (bank off, drained, or its spilled tables unreadable — the take
+	// error degrades to a miss because the live path below is always
+	// correct) falls through to live garbling.
+	if s.bank != nil {
+		ex, _ := s.bank.Take()
+		if ex != nil {
+			return s.inferBanked(p, id, bits, ex)
+		}
+		p.bankMiss = true
+		s.bankMisses++
+	}
 	// Fresh garbling state per inference: a new Free-XOR delta and new
 	// wire labels, so transcripts of different inferences are unlinkable.
 	g, err := gc.NewGarbler(s.rng)
@@ -758,6 +852,49 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	p.andGates = g.ANDGates
 	p.freeGates = g.FreeGates
 	p.gateTime = en.gateTime
+	s.inflight = append(s.inflight, p)
+	return p, nil
+}
+
+// inferBanked streams one banked execution as inference id's sub-stream
+// (the begin frame is already out). The execution is off the bank for
+// good: on a mid-stream error it is released and discarded with the
+// broken session — single-use, never re-issued.
+func (s *Session) inferBanked(p *PendingInference, id uint64, bits []bool, ex *bank.Execution) (*PendingInference, error) {
+	fail := func(err error) (*PendingInference, error) {
+		ex.Release()
+		s.failed = true
+		return nil, err
+	}
+	constPayload := append(append(s.labelBuf[:0], ex.ConstFalse[:]...), ex.ConstTrue[:]...)
+	if err := s.conn.SendTagged(transport.MsgInferConst, id, constPayload); err != nil {
+		return fail(err)
+	}
+	en := &bankStreamEngine{
+		sched:     s.prog.Schedule,
+		ex:        ex,
+		conn:      singleGarbleConn(s, id),
+		ots:       s.ots,
+		cfg:       s.cfg,
+		inputBits: bits,
+		labelBuf:  s.labelBuf[:0],
+	}
+	if err := en.run(); err != nil {
+		return fail(err)
+	}
+	if err := s.conn.Flush(); err != nil {
+		return fail(err)
+	}
+	s.labelBuf = en.labelBuf
+	// Output authentication keeps value copies of the delta and the
+	// zero-labels; the streamed material is zeroed now.
+	p.deltas = []gc.Label{ex.R}
+	p.outZero = ex.OutZero
+	p.andGates = ex.ANDGates
+	p.freeGates = ex.FreeGates
+	p.bankHit = true
+	ex.Release()
+	s.bankHits++
 	s.inflight = append(s.inflight, p)
 	return p, nil
 }
@@ -851,6 +988,18 @@ func (s *Session) InferBatchAsync(xs [][]float64) (*PendingBatch, error) {
 	if err := s.conn.Send(transport.MsgBatchBegin, s.tagBuf); err != nil {
 		return fail(err)
 	}
+	// Garble-ahead fast path: a batch consumes B banked single
+	// executions (all-or-nothing) and interleaves their table streams
+	// into the fused wire format — each sample keeps its own delta and
+	// labels, exactly as the live batch garbler would have drawn them.
+	if s.bank != nil {
+		exs, _ := s.bank.TakeN(b)
+		if exs != nil {
+			return s.inferBatchBanked(p, id, bits, exs)
+		}
+		p.bankMiss = true
+		s.bankMisses += int64(b)
+	}
 	// Fresh garbling state per sample: every sample has its own Free-XOR
 	// delta and its own wire labels, so the samples of a batch are as
 	// unlinkable as separate inferences.
@@ -893,6 +1042,72 @@ func (s *Session) InferBatchAsync(xs [][]float64) (*PendingBatch, error) {
 	p.andGates = bg.ANDGates
 	p.freeGates = bg.FreeGates
 	p.gateTime = en.gateTime
+	s.inflight = append(s.inflight, p)
+	return &PendingBatch{p: p}, nil
+}
+
+// inferBatchBanked streams B banked executions as batch id's fused
+// sub-stream (the begin frame is already out). Like the single path,
+// the executions are gone from the bank whatever happens: a mid-stream
+// error discards them with the broken session.
+func (s *Session) inferBatchBanked(p *PendingInference, id uint64, bits [][]bool, exs []*bank.Execution) (*PendingBatch, error) {
+	b := len(exs)
+	release := func() {
+		for _, ex := range exs {
+			ex.Release()
+		}
+	}
+	fail := func(err error) (*PendingBatch, error) {
+		release()
+		s.failed = true
+		return nil, err
+	}
+	// Const payload in the batch wire layout: the B false-labels, then
+	// the B true-labels.
+	constPayload := s.labelBuf[:0]
+	for _, ex := range exs {
+		constPayload = append(constPayload, ex.ConstFalse[:]...)
+	}
+	for _, ex := range exs {
+		constPayload = append(constPayload, ex.ConstTrue[:]...)
+	}
+	if err := s.conn.SendTagged(transport.MsgBatchConst, id, constPayload); err != nil {
+		return fail(err)
+	}
+	en := &bankBatchEngine{
+		sched:     s.prog.Schedule,
+		exs:       exs,
+		conn:      batchGarbleConn(s, id),
+		ots:       s.ots,
+		cfg:       s.cfg,
+		b:         b,
+		inputBits: bits,
+		labelBuf:  constPayload[:0],
+		cur:       s.chunkBuf,
+		free:      s.freeBufs,
+	}
+	if err := en.run(); err != nil {
+		return fail(err)
+	}
+	if err := s.conn.Flush(); err != nil {
+		return fail(err)
+	}
+	s.chunkBuf = en.cur
+	s.labelBuf = en.labelBuf
+	p.deltas = make([]gc.Label, b)
+	outWires := len(exs[0].OutZero)
+	p.outZero = make([]gc.Label, outWires*b)
+	for sm, ex := range exs {
+		p.deltas[sm] = ex.R
+		for i := 0; i < outWires; i++ {
+			p.outZero[i*b+sm] = ex.OutZero[i]
+		}
+		p.andGates += ex.ANDGates
+		p.freeGates += ex.FreeGates
+	}
+	p.bankHit = true
+	release()
+	s.bankHits += int64(b)
 	s.inflight = append(s.inflight, p)
 	return &PendingBatch{p: p}, nil
 }
@@ -965,7 +1180,35 @@ func (s *Session) Stats() *Stats {
 		OTOfflineTime: s.baseTime,
 	}
 	st.addOT(s.ots.Stats())
+	if s.bank != nil {
+		st.BankHits = s.bankHits
+		st.BankMisses = s.bankMisses
+		st.BankRefillTime = s.bank.Stats().RefillTime - s.bank0.RefillTime
+	}
 	return st
+}
+
+// BankStats returns the session's garble-ahead bank counters (zero
+// value when banking is off): the bank itself is shared per program
+// across the client's sessions, so Banked/Available reflect the shared
+// pool while the session's own hit/miss split lives in Stats.
+func (s *Session) BankStats() bank.Stats {
+	if s.bank == nil {
+		return bank.Stats{}
+	}
+	return s.bank.Stats()
+}
+
+// FillBank synchronously refills the session's garble-ahead bank to its
+// configured depth — an explicit offline phase for callers that know a
+// request burst is coming and want every inference in it to hit the
+// bank, rather than waiting for the low-water refill to catch up.
+// Without a bank it is a no-op.
+func (s *Session) FillBank() error {
+	if s.bank == nil {
+		return nil
+	}
+	return s.bank.Fill()
 }
 
 // OTPooled reports whether the server enabled OT precomputation for this

@@ -166,6 +166,22 @@ type ReceiverPool struct {
 	// still unwinding.
 	stMu sync.Mutex
 	st   Stats
+
+	// Speculative out-of-inference-order consumption (IssueAll/Collect):
+	// collectSeq orders response collection by issue ticket — the wire
+	// carries derand responses in correction order, so collects must
+	// read in that order even when inference walks interleave.
+	// outstanding counts issued-but-uncollected batches; refills barrier
+	// on it draining (a refill's Y frame queues behind every pending
+	// response on the shared OT stream). Guarded by outMu; outCond wakes
+	// the barrier. specAborted mirrors the sequencer's aborted flag for
+	// barrier waiters.
+	collectSeq  *Sequencer
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outstanding int
+	specAborted bool
+	nextTicket  int64
 }
 
 type pendingFill struct {
@@ -179,7 +195,9 @@ type pendingFill struct {
 // pool's random choice bits (and must match the session's randomness
 // policy for concurrency).
 func NewReceiverPool(conn transport.FrameConn, ots *ot.ExtReceiver, rng io.Reader, cfg PoolConfig) *ReceiverPool {
-	return &ReceiverPool{conn: conn, ots: ots, rng: rng, cfg: cfg}
+	p := &ReceiverPool{conn: conn, ots: ots, rng: rng, cfg: cfg, collectSeq: NewSequencer(0)}
+	p.outCond = sync.NewCond(&p.outMu)
+	return p
 }
 
 // Stats returns a snapshot of the pool's counters. Safe to call
@@ -405,6 +423,185 @@ func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
 	p.seq += int64(m)
 	p.stAdd(Stats{Consumed: int64(m), Batches: 1, OnlineTime: time.Since(start)})
 	p.maybeStartBackground()
+	return out, nil
+}
+
+// Pooled reports whether this pool's configuration enables pooling —
+// the precondition for speculative issue (IssueAll needs banked entries
+// to derandomize against; direct IKNP is inherently request/response).
+func (p *ReceiverPool) Pooled() bool { return p.cfg.Enabled() }
+
+// Abort unblocks every speculative waiter — collects gated on the ticket
+// order and issuers gated on the outstanding-drain barrier — with a
+// teardown error. Call alongside the session Sequencer's Abort.
+func (p *ReceiverPool) Abort() {
+	p.collectSeq.Abort()
+	p.outMu.Lock()
+	p.specAborted = true
+	p.outCond.Broadcast()
+	p.outMu.Unlock()
+}
+
+// PendingReceive is one issued-but-uncollected speculative batch: the
+// corrections are on the wire, the consumed pool entries are copied out
+// (and the pool's own copies zeroed), and Collect unmasks the sender's
+// response when the walk reaches the step.
+type PendingReceive struct {
+	p       *ReceiverPool
+	ticket  int64
+	choices []bool
+	bits    []bool
+	msgs    []ot.Msg
+}
+
+// IssueAll speculatively issues the derandomization corrections for ALL
+// of an inference's input-step batches in one flight: each step's
+// corrections are computed against consecutive pool entries and sent
+// back-to-back (one Flush at the end), and the caller gets one
+// PendingReceive per step to Collect in walk order. The point: the
+// caller can release its pool-order turn the moment IssueAll returns —
+// the pool's FIFO state is fully advanced — so the next inference's
+// corrections overlap this one's evaluation instead of waiting for its
+// last Collect.
+//
+// Callers must still be serialized against each other (the session
+// Sequencer); Collects order themselves by ticket. Requires an enabled
+// pool.
+func (p *ReceiverPool) IssueAll(steps [][]bool) ([]*PendingReceive, error) {
+	if !p.cfg.Enabled() {
+		return nil, fmt.Errorf("precomp: speculative issue requires an enabled pool")
+	}
+	total := 0
+	for _, c := range steps {
+		total += len(c)
+	}
+	// A refill (or a pending background fill's resolution) reads a
+	// MsgOTExtY off the shared OT stream — which carries the responses to
+	// every outstanding correction first. Barrier until earlier
+	// inferences' collects drain those responses before touching the
+	// wire. Deadlock-free: collects need only the ticket order, not the
+	// pool turn this caller holds.
+	if p.pending != nil || p.Available() < total || p.Available() < p.cfg.lowWater() {
+		p.outMu.Lock()
+		for p.outstanding > 0 && !p.specAborted {
+			p.outCond.Wait()
+		}
+		aborted := p.specAborted
+		p.outMu.Unlock()
+		if aborted {
+			return nil, ErrSequencerAborted
+		}
+		if err := p.resolvePending(); err != nil {
+			return nil, err
+		}
+		if avail := p.Available(); avail < total || avail < p.cfg.lowWater() {
+			// One upfront refill covers the whole inference: refilling
+			// mid-issue would deadlock on our own outstanding responses.
+			n := p.cfg.Capacity - avail
+			if n < total-avail {
+				n = total - avail
+			}
+			if err := p.refill(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	start := time.Now()
+	prs := make([]*PendingReceive, len(steps))
+	for si, choices := range steps {
+		m := len(choices)
+		pr := &PendingReceive{p: p, choices: choices}
+		prs[si] = pr
+		p.outMu.Lock()
+		pr.ticket = p.nextTicket
+		p.nextTicket++
+		p.outstanding++
+		p.outMu.Unlock()
+		if m == 0 {
+			continue
+		}
+		// Copy the consumed entries out for Collect and zero the pool's
+		// own copies now: the FIFO advances here, single-use holds even
+		// if the Collect never runs.
+		pr.bits = make([]bool, m)
+		pr.msgs = make([]ot.Msg, m)
+		copy(pr.bits, p.bits[p.head:p.head+m])
+		copy(pr.msgs, p.msgs[p.head:p.head+m])
+		d := make([]byte, (m+7)/8)
+		for j, b := range choices {
+			if b != pr.bits[j] {
+				d[j/8] |= 1 << uint(j%8)
+			}
+			p.msgs[p.head+j] = ot.Msg{}
+			p.bits[p.head+j] = false
+		}
+		p.head += m
+		p.seq += int64(m)
+		if err := p.conn.Send(transport.MsgOTDerandC, d); err != nil {
+			return nil, err
+		}
+	}
+	// One flush for the whole flight: the sender answers each correction
+	// in order, so responses stream back while the walk evaluates.
+	if err := p.conn.Flush(); err != nil {
+		return nil, err
+	}
+	p.stAdd(Stats{Consumed: int64(total), Batches: int64(len(steps)), OnlineTime: time.Since(start)})
+	p.maybeStartBackground()
+	return prs, nil
+}
+
+// Collect receives and unmasks the sender's response for one issued
+// batch. Collects self-serialize into issue order (the wire order of the
+// responses); a failed receive aborts the pool's speculative state
+// instead of releasing the ticket — the stream is desynchronized and no
+// later collect can legitimately proceed.
+func (pr *PendingReceive) Collect() ([]ot.Msg, error) {
+	p := pr.p
+	if err := p.collectSeq.Acquire(pr.ticket); err != nil {
+		return nil, err
+	}
+	m := len(pr.choices)
+	if m == 0 {
+		p.collectSeq.Release(pr.ticket)
+		p.outMu.Lock()
+		p.outstanding--
+		p.outCond.Broadcast()
+		p.outMu.Unlock()
+		return nil, nil
+	}
+	start := time.Now()
+	y, err := p.conn.Recv(transport.MsgOTDerandM)
+	if err != nil {
+		p.Abort()
+		return nil, err
+	}
+	if len(y) != m*2*ot.MsgLen {
+		p.Abort()
+		return nil, fmt.Errorf("precomp: derand payload is %d bytes, want %d", len(y), m*2*ot.MsgLen)
+	}
+	out := make([]ot.Msg, m)
+	for j, b := range pr.choices {
+		off := j * 2 * ot.MsgLen
+		if b {
+			off += ot.MsgLen
+		}
+		r := &pr.msgs[j]
+		for i := 0; i < ot.MsgLen; i++ {
+			out[j][i] = y[off+i] ^ r[i]
+		}
+		// Single-use: the pending copies die with the collect.
+		*r = ot.Msg{}
+		pr.bits[j] = false
+	}
+	pr.msgs, pr.bits = nil, nil
+	p.collectSeq.Release(pr.ticket)
+	p.outMu.Lock()
+	p.outstanding--
+	p.outCond.Broadcast()
+	p.outMu.Unlock()
+	p.stAdd(Stats{OnlineTime: time.Since(start)})
 	return out, nil
 }
 

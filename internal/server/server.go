@@ -20,6 +20,7 @@ import (
 
 	"deepsecure/internal/core"
 	"deepsecure/internal/fixed"
+	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
@@ -134,6 +135,35 @@ func WithPipeline(depth int) Option {
 // clamp to [1, 256].
 func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.core.Engine.MaxBatch = n }
+}
+
+// WithBank installs the garble-ahead execution-bank policy in the
+// engine configuration this server's sessions run with, and — the part
+// that matters on the evaluator side — enables speculative OT
+// consumption when the bank is enabled. The bank itself lives with the
+// garbling party (clients pre-garble; see core.EngineConfig.Bank), so a
+// plain server never fills one; but banked clients make the ordered OT
+// exchange the dominant online step, and a server that expects them
+// should loosen it. WithBank(cfg) with cfg.Enabled() is therefore
+// shorthand for carrying the policy in the shared EngineConfig plus
+// WithSpeculativeOT(true); a zero cfg clears both.
+func WithBank(cfg bank.Config) Option {
+	return func(s *Server) {
+		s.core.Engine.Bank = cfg
+		s.core.Engine.SpeculativeOT = cfg.Enabled()
+	}
+}
+
+// WithSpeculativeOT toggles speculative OT consumption: an inference
+// issues all of its input steps' derandomization corrections in one
+// flight at its first evaluator step and releases the OT-pool turn
+// immediately, so deep pipeline windows (and garble-ahead clients, whose
+// online path is otherwise just label selection and streaming) are not
+// serialized on per-step OT round-trips. Requires an enabled OT pool
+// (no-op otherwise); off by default because it shifts server→client
+// frame timing relative to the strict-order v5 transcript.
+func WithSpeculativeOT(on bool) Option {
+	return func(s *Server) { s.core.Engine.SpeculativeOT = on }
 }
 
 // WithIdleTimeout bounds how long a session connection may sit idle.
