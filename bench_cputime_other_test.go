@@ -1,0 +1,9 @@
+//go:build !linux
+
+package deepsecure
+
+import "time"
+
+// processCPUTime is unavailable off Linux; the overhead benchmark falls
+// back to wall-clock pairing only.
+func processCPUTime() time.Duration { return 0 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +27,7 @@ import (
 	"deepsecure"
 	"deepsecure/internal/benchmarks"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/obs"
 )
 
 func buildModel(name string) (*nn.Network, error) {
@@ -67,6 +69,8 @@ func main() {
 	bankDepth := flag.Int("bank-depth", 0, "garble-ahead bank policy depth in the session engine config; also enables speculative OT (0 = banking off; the bank itself fills on garbling clients)")
 	bankLowWater := flag.Int("bank-low-water", 0, "refill the garble-ahead bank when fewer executions remain (0 = depth/4)")
 	bankBackground := flag.Bool("bank-background", true, "refill the garble-ahead bank on a background goroutine")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/stats (JSON) on this address (empty disables)")
+	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the metrics address")
 	flag.Parse()
 
 	net0, err := buildModel(*model)
@@ -127,16 +131,24 @@ func main() {
 		log.Printf("garbling hash core: portable crypto/aes fallback (no AES-NI or purego build)")
 	}
 
+	if *metricsAddr != "" {
+		mux := obs.ServeMux(obs.Default, *pprofOn)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics endpoint failed: %v", err)
+			}
+		}()
+		if *pprofOn {
+			log.Printf("metrics on http://%s/metrics (JSON at /debug/stats, profiles at /debug/pprof/)", *metricsAddr)
+		} else {
+			log.Printf("metrics on http://%s/metrics (JSON at /debug/stats)", *metricsAddr)
+		}
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				st := srv.Stats()
-				log.Printf("stats: %d session(s) (%d active), %d inference(s), %d error(s), %.2f MB out, %.2f MB in, OT pool %d generated / %d consumed / %d refill(s), pipeline peak %d in flight / %v overlapped, crypto core %.2f Mgates/s",
-					st.Sessions, st.ActiveSessions, st.Inferences, st.Errors,
-					float64(st.BytesSent)/1e6, float64(st.BytesReceived)/1e6,
-					st.OTsPooled, st.OTsConsumed, st.OTRefills,
-					st.MaxInFlight, st.OverlapTime.Round(time.Millisecond),
-					st.GatesPerSec()/1e6)
+				log.Printf("stats: %s", obs.ServingLine(obs.Default.Snapshot()))
 			}
 		}()
 	}
@@ -162,8 +174,7 @@ func main() {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("served %d session(s), %d inference(s) total; OT pool: %d generated, %d consumed, %d refill(s); pipeline peak %d in flight, %v overlapped; crypto core %.2f Mgates/s over %v",
-		st.Sessions, st.Inferences, st.OTsPooled, st.OTsConsumed, st.OTRefills,
-		st.MaxInFlight, st.OverlapTime.Round(time.Millisecond),
-		st.GatesPerSec()/1e6, st.GateTime.Round(time.Millisecond))
+	log.Printf("served %d session(s), %d inference(s) total; pipeline peak %d in flight, %v overlapped",
+		st.Sessions, st.Inferences, st.MaxInFlight, st.OverlapTime.Round(time.Millisecond))
+	log.Printf("final: %s", obs.ServingLine(obs.Default.Snapshot()))
 }

@@ -23,6 +23,7 @@ package deepsecure
 
 import (
 	"io"
+	"net/http"
 
 	"deepsecure/internal/act"
 	"deepsecure/internal/circuit"
@@ -32,6 +33,7 @@ import (
 	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/project"
 	"deepsecure/internal/prune"
@@ -344,3 +346,28 @@ func NetlistStats(net *Network, f Format) (Stats, error) {
 // with the purego tag). When false, garbling runs on the portable
 // crypto/aes fallback — same bytes, lower throughput.
 func WideHashAvailable() bool { return gc.WideAvailable() }
+
+// MetricsHandler serves the process-wide metrics registry — per-phase
+// latency histograms, session/inference/batch totals, bank hit/miss,
+// OT pool depth, per-direction byte counters — in Prometheus text
+// exposition format (the /metrics endpoint). All protocol code in this
+// module records into the same registry, so mounting this handler is
+// the only wiring a host process needs.
+func MetricsHandler() http.Handler { return obs.MetricsHandler(obs.Default) }
+
+// LiveStatsHandler serves the same registry as a JSON snapshot:
+// one object keyed by series, histograms summarized as
+// count/sum/mean/p50/p95/p99 (the /debug/stats endpoint).
+func LiveStatsHandler() http.Handler { return obs.StatsHandler(obs.Default) }
+
+// MetricsMux bundles the operational endpoints into one mux:
+// /metrics (Prometheus text), /debug/stats (JSON), and — opt-in,
+// because profiles leak timing detail — net/http/pprof under
+// /debug/pprof/.
+func MetricsMux(withPprof bool) http.Handler { return obs.ServeMux(obs.Default, withPprof) }
+
+// SetMetricsEnabled toggles metric recording process-wide. Recording is
+// on by default and is allocation-free on the hot path; disabling stops
+// histogram and counter updates (spans still time themselves, so
+// per-call InferStats stay exact).
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }

@@ -52,6 +52,9 @@ type batchGarbleEngine struct {
 	// gateTime accumulates the wall time of the per-level GarbleLevel
 	// calls — the hash-core cost of the whole fused batch.
 	gateTime time.Duration
+	// writeTime accumulates wall time pushing table chunks into the
+	// transport (the table_write phase).
+	writeTime time.Duration
 }
 
 func (en *batchGarbleEngine) run() error {
@@ -148,7 +151,9 @@ func (en *batchGarbleEngine) doLevels(st *circuit.Step) (err error) {
 			wr.ch <- buf
 			return nil
 		}
+		t0 := time.Now()
 		err := en.conn.Send(transport.MsgTables, buf)
+		en.writeTime += time.Since(t0)
 		select {
 		case en.free <- buf[:0]:
 		default:
@@ -189,6 +194,7 @@ func (en *batchGarbleEngine) doLevels(st *circuit.Step) (err error) {
 		// Always drain the writer, even on error, so it never outlives
 		// the inference or races the main goroutine for the connection.
 		werr := wr.finish()
+		en.writeTime += wr.elapsed
 		if err == nil {
 			err = werr
 		}
@@ -236,6 +242,9 @@ type batchEvalEngine struct {
 	// gateTime accumulates the wall time of the per-level EvaluateLevel
 	// calls (table waits excluded).
 	gateTime time.Duration
+	// readTime accumulates wall time blocked on table frames from the
+	// wire (the table_read phase).
+	readTime time.Duration
 }
 
 func (en *batchEvalEngine) run() error {
@@ -387,5 +396,6 @@ func (en *batchEvalEngine) doLevels(st *circuit.Step) error {
 		}
 	}
 	en.pending, err = tr.finish(err)
+	en.readTime += tr.readTime
 	return err
 }

@@ -170,6 +170,11 @@ type tableWriter struct {
 	ch   chan []byte
 	done chan error
 	free chan []byte
+
+	// elapsed accumulates wall time inside Send calls — the garbler's
+	// table_write phase. Written only by the writer goroutine; readable
+	// after finish returns.
+	elapsed time.Duration
 }
 
 func startTableWriter(conn transport.FrameConn, free chan []byte) *tableWriter {
@@ -182,7 +187,9 @@ func startTableWriter(conn transport.FrameConn, free chan []byte) *tableWriter {
 		var err error
 		for buf := range w.ch {
 			if err == nil {
+				t0 := time.Now()
 				err = conn.Send(transport.MsgTables, buf)
+				w.elapsed += time.Since(t0)
 			}
 			select {
 			case w.free <- buf[:0]:
@@ -224,6 +231,10 @@ type garbleEngine struct {
 	// gateTime accumulates the wall time of the per-level GarbleBatch
 	// calls — the hash-core cost this inference paid, transport excluded.
 	gateTime time.Duration
+	// writeTime accumulates wall time pushing table chunks into the
+	// transport (the table_write phase; from the writer goroutine when
+	// the engine is parallel).
+	writeTime time.Duration
 }
 
 func (en *garbleEngine) run() error {
@@ -327,7 +338,9 @@ func (en *garbleEngine) doLevels(st *circuit.Step) (err error) {
 			wr.ch <- buf
 			return nil
 		}
+		t0 := time.Now()
 		err := en.conn.Send(transport.MsgTables, buf)
+		en.writeTime += time.Since(t0)
 		select {
 		case en.free <- buf[:0]:
 		default:
@@ -368,6 +381,7 @@ func (en *garbleEngine) doLevels(st *circuit.Step) (err error) {
 		// Always drain the writer, even on error, so it never outlives
 		// the inference or races the main goroutine for the connection.
 		werr := wr.finish()
+		en.writeTime += wr.elapsed
 		if err == nil {
 			err = werr
 		}
@@ -429,6 +443,9 @@ type evalEngine struct {
 	// gateTime accumulates the wall time of the per-level EvaluateBatch
 	// calls (table waits excluded — tr.level blocks outside the window).
 	gateTime time.Duration
+	// readTime accumulates wall time blocked on table frames from the
+	// wire (the table_read phase).
+	readTime time.Duration
 }
 
 func (en *evalEngine) run() error {
@@ -625,6 +642,7 @@ func (en *evalEngine) doLevels(st *circuit.Step) error {
 		}
 	}
 	en.pending, err = tr.finish(err)
+	en.readTime += tr.readTime
 	return err
 }
 
@@ -646,6 +664,11 @@ type tableRun struct {
 	got     int
 	frames  chan []byte
 	perr    chan error
+
+	// readTime accumulates wall time blocked in next() waiting for
+	// frames — what the evaluator actually spent on the table stream
+	// (ring hits cost ~nothing; a dry ring charges the wire wait here).
+	readTime time.Duration
 }
 
 func startTableRun(conn transport.FrameConn, async bool, total int, pending []byte) *tableRun {
@@ -695,7 +718,9 @@ func (tr *tableRun) next() ([]byte, error) {
 func (tr *tableRun) level(need int) ([]byte, error) {
 	pending, off := tr.pending, tr.off
 	for len(pending)-off < need {
+		t0 := time.Now()
 		p, err := tr.next()
+		tr.readTime += time.Since(t0)
 		if err != nil {
 			tr.pending = pending
 			tr.off = off

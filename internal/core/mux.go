@@ -10,6 +10,7 @@ import (
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
@@ -137,6 +138,7 @@ func recvRouted(flush func() error, ch <-chan frame, stop <-chan struct{}, scope
 type evalCtx struct {
 	id    uint64
 	batch int
+	start time.Time // admission time, for the per-inference latency histogram
 	inbox chan frame
 	dead  chan struct{}
 }
@@ -475,7 +477,7 @@ func (m *sessionMux) beginCtx(id uint64, batch int) error {
 		return err
 	}
 	m.beginInFlight()
-	c := &evalCtx{id: id, batch: batch, inbox: make(chan frame, 4), dead: make(chan struct{})}
+	c := &evalCtx{id: id, batch: batch, start: time.Now(), inbox: make(chan frame, 4), dead: make(chan struct{})}
 	m.pruneCtxs()
 	m.ctxs[id] = c
 	m.spawned++
@@ -583,6 +585,13 @@ func (m *sessionMux) putBuf(b []byte) {
 func (m *sessionMux) runCtx(c *evalCtx) {
 	err := m.serveInference(c)
 	m.endInFlight()
+	if err == nil {
+		obs.ObserveInference(time.Since(c.start))
+		obs.AddInferences(c.samples())
+		if c.batch > 0 {
+			obs.IncBatches()
+		}
+	}
 	close(c.dead)
 	m.emit(muxEvent{err: err, inferences: c.samples()})
 }
@@ -606,7 +615,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 	var run func() error
 	var pendingRef *[]byte
 	var outRef *[]gc.Label
-	var gtRef *time.Duration
+	var gtRef, readRef *time.Duration
 	if c.batch > 0 {
 		// Batched sub-stream: const labels arrive wire-major (the B
 		// false-labels, then the B true-labels), like every batch frame.
@@ -641,7 +650,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}
-		run, pendingRef, outRef, gtRef = en.run, &en.pending, &en.outLabels, &en.gateTime
+		run, pendingRef, outRef, gtRef, readRef = en.run, &en.pending, &en.outLabels, &en.gateTime, &en.readTime
 	} else {
 		if len(constLabels) != 2*gc.LabelSize {
 			return fmt.Errorf("core: const-label frame has %d bytes", len(constLabels))
@@ -667,7 +676,7 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 			progress:  &m.conn.Progress,
 			pending:   m.getBuf(),
 		}
-		run, pendingRef, outRef, gtRef = en.run, &en.pending, &en.outLabels, &en.gateTime
+		run, pendingRef, outRef, gtRef, readRef = en.run, &en.pending, &en.outLabels, &en.gateTime, &en.readTime
 	}
 	err = run()
 	m.putBuf(*pendingRef)
@@ -676,12 +685,18 @@ func (m *sessionMux) serveInference(c *evalCtx) error {
 	}
 	// Fold the crypto-core counters: gate-instance counts derive from the
 	// schedule (every context walks it once per sample), kernel time from
-	// the engine's measurement.
+	// the engine's measurement. The registry observations reuse the same
+	// engine clocks that back Stats, so the two surfaces agree.
+	ands := m.sched.ANDs * c.samples()
+	frees := (int64(len(m.sched.Gates)) - m.sched.ANDs) * c.samples()
 	m.statMu.Lock()
 	m.gateTime += *gtRef
-	m.andGates += m.sched.ANDs * c.samples()
-	m.freeGates += (int64(len(m.sched.Gates)) - m.sched.ANDs) * c.samples()
+	m.andGates += ands
+	m.freeGates += frees
 	m.statMu.Unlock()
+	obs.ObservePhase(obs.PhaseEval, *gtRef)
+	obs.ObservePhase(obs.PhaseTableRead, *readRef)
+	obs.AddGates(ands, frees, *gtRef)
 	outLabels := *outRef
 	payload := make([]byte, 0, len(outLabels)*gc.LabelSize)
 	for _, l := range outLabels {

@@ -33,6 +33,7 @@ import (
 	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
@@ -615,6 +616,7 @@ type PendingInference struct {
 	deltas  []gc.Label
 	outZero []gc.Label
 	start   time.Time
+	flushed time.Time // garbled stream fully on the wire; starts the output round-trip
 	sent0   int64
 	recv0   int64
 	ot0     precomp.Stats
@@ -740,6 +742,13 @@ func (s *Session) resolveOutput(typ transport.MsgType, payload []byte) error {
 	s.andGates += p.andGates
 	s.freeGates += p.freeGates
 	s.gateTime += p.gateTime
+	// The registry sees the same measurements Stats was just built from:
+	// the output round-trip from the flush timestamp, gates from the
+	// garble-time counters.
+	if !p.flushed.IsZero() {
+		obs.ObservePhase(obs.PhaseOutputRoundTrip, time.Since(p.flushed))
+	}
+	obs.AddGates(p.andGates, p.freeGates, p.gateTime)
 	return nil
 }
 
@@ -841,6 +850,9 @@ func (s *Session) InferAsync(x []float64) (*PendingInference, error) {
 	if err := s.conn.Flush(); err != nil {
 		return fail(err)
 	}
+	p.flushed = time.Now()
+	obs.ObservePhase(obs.PhaseGarbleLive, en.gateTime)
+	obs.ObservePhase(obs.PhaseTableWrite, en.writeTime)
 	// Hand the grown buffers back for the next inference on this session.
 	s.chunkBuf = en.cur
 	s.labelBuf = en.labelBuf
@@ -879,12 +891,18 @@ func (s *Session) inferBanked(p *PendingInference, id uint64, bits []bool, ex *b
 		inputBits: bits,
 		labelBuf:  s.labelBuf[:0],
 	}
+	// The bank hit's online cost IS the streaming: label selection plus
+	// zero-copy stream writes, garbling excluded — the garble_bank span
+	// covers the run and its flush.
+	sp := obs.Span(obs.PhaseGarbleBank)
 	if err := en.run(); err != nil {
 		return fail(err)
 	}
 	if err := s.conn.Flush(); err != nil {
 		return fail(err)
 	}
+	sp.End()
+	p.flushed = time.Now()
 	s.labelBuf = en.labelBuf
 	// Output authentication keeps value copies of the delta and the
 	// zero-labels; the streamed material is zeroed now.
@@ -1035,6 +1053,9 @@ func (s *Session) InferBatchAsync(xs [][]float64) (*PendingBatch, error) {
 	if err := s.conn.Flush(); err != nil {
 		return fail(err)
 	}
+	p.flushed = time.Now()
+	obs.ObservePhase(obs.PhaseGarbleLive, en.gateTime)
+	obs.ObservePhase(obs.PhaseTableWrite, en.writeTime)
 	s.chunkBuf = en.cur
 	s.labelBuf = en.labelBuf
 	p.deltas = bg.R
@@ -1086,12 +1107,17 @@ func (s *Session) inferBatchBanked(p *PendingInference, id uint64, bits [][]bool
 		cur:       s.chunkBuf,
 		free:      s.freeBufs,
 	}
+	// Bank-hit online cost: the interleave copy plus stream writes (see
+	// inferBanked — same phase, fused wire format).
+	sp := obs.Span(obs.PhaseGarbleBank)
 	if err := en.run(); err != nil {
 		return fail(err)
 	}
 	if err := s.conn.Flush(); err != nil {
 		return fail(err)
 	}
+	sp.End()
+	p.flushed = time.Now()
 	s.chunkBuf = en.cur
 	s.labelBuf = en.labelBuf
 	p.deltas = make([]gc.Label, b)

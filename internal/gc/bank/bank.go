@@ -43,6 +43,7 @@ import (
 
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/obs"
 )
 
 // Config sizes a garble-ahead execution bank.
@@ -301,7 +302,11 @@ func (b *Bank) insert(ex *Execution, dt time.Duration) {
 	b.fifo = append(b.fifo, ex)
 	b.st.Banked++
 	b.st.RefillTime += dt
+	avail := b.available()
 	b.mu.Unlock()
+	obs.ObservePhase(obs.PhaseBankRefill, dt)
+	obs.IncBankRefills()
+	obs.SetBankAvailable(avail)
 }
 
 // Take removes and returns the oldest banked execution, or (nil, nil)
@@ -326,6 +331,7 @@ func (b *Bank) TakeN(n int) ([]*Execution, error) {
 	if b.available() < n {
 		b.st.Misses++
 		b.mu.Unlock()
+		obs.AddBankMisses(1)
 		b.maybeRefill()
 		return nil, nil
 	}
@@ -357,7 +363,14 @@ func (b *Bank) TakeN(n int) ([]*Execution, error) {
 	} else {
 		b.st.Hits += int64(n)
 	}
+	avail := b.available()
 	b.mu.Unlock()
+	if loadErr != nil {
+		obs.AddBankMisses(1)
+	} else {
+		obs.AddBankHits(int64(n))
+	}
+	obs.SetBankAvailable(avail)
 	b.maybeRefill()
 	if loadErr != nil {
 		return nil, loadErr
@@ -517,6 +530,7 @@ func (b *Bank) spillTables(ex *Execution) error {
 	b.mu.Lock()
 	b.st.Spills++
 	b.mu.Unlock()
+	obs.IncBankSpills()
 	return nil
 }
 

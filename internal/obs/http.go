@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves a registry in Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}
+
+// StatsHandler serves a registry as the JSON live view (the
+// /debug/stats endpoint): one object keyed by series, histograms
+// summarized as count/sum/mean/p50/p95/p99.
+func StatsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+}
+
+// ServeMux builds the metrics endpoint mux: /metrics (Prometheus text),
+// /debug/stats (JSON live snapshot), and — opt-in, because profiles
+// leak timing detail an operator may not want exposed — the
+// net/http/pprof handlers under /debug/pprof/.
+func ServeMux(r *Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/stats", StatsHandler(r))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/transport"
 )
@@ -268,7 +269,9 @@ func (p *ReceiverPool) refill(n int) error {
 	if err := p.finishRefill(n, choices, pr); err != nil {
 		return err
 	}
-	p.stAdd(Stats{OfflineTime: time.Since(start)})
+	elapsed := time.Since(start)
+	p.stAdd(Stats{OfflineTime: elapsed})
+	obs.ObservePhase(obs.PhaseOTRefill, elapsed)
 	return nil
 }
 
@@ -293,6 +296,9 @@ func (p *ReceiverPool) finishRefill(n int, choices []bool, pr *ot.PreparedReceiv
 	p.bits = append(p.bits, choices...)
 	p.msgs = append(p.msgs, msgs...)
 	p.stAdd(Stats{Generated: int64(n), Refills: 1})
+	obs.AddOTPooled(int64(n))
+	obs.IncOTRefills()
+	obs.SetOTPoolDepth(obs.OTReceiver, p.Available())
 	return nil
 }
 
@@ -321,7 +327,9 @@ func (p *ReceiverPool) resolvePending() error {
 		return f.err
 	}
 	err := p.finishRefill(f.n, f.choices, f.pr)
-	p.stAdd(Stats{OfflineTime: time.Since(start)})
+	elapsed := time.Since(start)
+	p.stAdd(Stats{OfflineTime: elapsed})
+	obs.ObservePhase(obs.PhaseOTRefill, elapsed)
 	return err
 }
 
@@ -421,7 +429,11 @@ func (p *ReceiverPool) Receive(choices []bool) ([]ot.Msg, error) {
 	}
 	p.head += m
 	p.seq += int64(m)
-	p.stAdd(Stats{Consumed: int64(m), Batches: 1, OnlineTime: time.Since(start)})
+	elapsed := time.Since(start)
+	p.stAdd(Stats{Consumed: int64(m), Batches: 1, OnlineTime: elapsed})
+	obs.ObservePhase(obs.PhaseOTDerand, elapsed)
+	obs.AddOTConsumed(int64(m))
+	obs.SetOTPoolDepth(obs.OTReceiver, p.Available())
 	p.maybeStartBackground()
 	return out, nil
 }
@@ -547,7 +559,11 @@ func (p *ReceiverPool) IssueAll(steps [][]bool) ([]*PendingReceive, error) {
 	if err := p.conn.Flush(); err != nil {
 		return nil, err
 	}
-	p.stAdd(Stats{Consumed: int64(total), Batches: int64(len(steps)), OnlineTime: time.Since(start)})
+	elapsed := time.Since(start)
+	p.stAdd(Stats{Consumed: int64(total), Batches: int64(len(steps)), OnlineTime: elapsed})
+	obs.ObservePhase(obs.PhaseOTDerand, elapsed)
+	obs.AddOTConsumed(int64(total))
+	obs.SetOTPoolDepth(obs.OTReceiver, p.Available())
 	p.maybeStartBackground()
 	return prs, nil
 }
@@ -601,7 +617,9 @@ func (pr *PendingReceive) Collect() ([]ot.Msg, error) {
 	p.outstanding--
 	p.outCond.Broadcast()
 	p.outMu.Unlock()
-	p.stAdd(Stats{OnlineTime: time.Since(start)})
+	elapsed := time.Since(start)
+	p.stAdd(Stats{OnlineTime: elapsed})
+	obs.ObservePhase(obs.PhaseSpecCollect, elapsed)
 	return out, nil
 }
 
@@ -688,7 +706,12 @@ func (p *SenderPool) fill(n int) error {
 	p.pairs = append(p.pairs, fresh...)
 	p.st.Generated += int64(n)
 	p.st.Refills++
-	p.st.OfflineTime += time.Since(start)
+	elapsed := time.Since(start)
+	p.st.OfflineTime += elapsed
+	obs.ObservePhase(obs.PhaseOTRefill, elapsed)
+	obs.AddOTPooled(int64(n))
+	obs.IncOTRefills()
+	obs.SetOTPoolDepth(obs.OTSender, p.Available())
 	return nil
 }
 
@@ -770,6 +793,9 @@ func (p *SenderPool) derand(pairs [][2]ot.Msg, d []byte) error {
 		return err
 	}
 	err := p.conn.Flush()
-	p.st.OnlineTime += time.Since(start)
+	elapsed := time.Since(start)
+	p.st.OnlineTime += elapsed
+	obs.ObservePhase(obs.PhaseOTDerand, elapsed)
+	obs.SetOTPoolDepth(obs.OTSender, p.Available())
 	return err
 }

@@ -22,6 +22,7 @@ import (
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/nn"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/transport"
 )
@@ -326,7 +327,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	s.sessions.Add(1)
 	s.active.Add(1)
-	defer s.active.Add(-1)
+	obs.IncSessions()
+	obs.AddActiveSessions(1)
+	defer func() {
+		s.active.Add(-1)
+		obs.AddActiveSessions(-1)
+	}()
 
 	start := time.Now()
 	rw := io.ReadWriter(conn)
@@ -360,6 +366,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		s.errors.Add(1)
+		obs.IncErrors()
 		s.logf("session from %s failed after %d inference(s): %v",
 			conn.RemoteAddr(), sessionInferences(st), err)
 		return

@@ -1,0 +1,27 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The lifetime Stats snapshot is taken at arbitrary moments — including
+// before any session has evaluated a gate — so GatesPerSec must return
+// 0, never +Inf or NaN, while GateTime is still zero.
+func TestServerGatesPerSecZeroGateTime(t *testing.T) {
+	for _, st := range []Stats{
+		{},
+		{ANDGates: 12345, FreeGates: 67890},
+		{ANDGates: 1, GateTime: -time.Nanosecond},
+	} {
+		got := st.GatesPerSec()
+		if got != 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("GatesPerSec() = %v for %+v, want 0", got, st)
+		}
+	}
+	ok := Stats{ANDGates: 1000, FreeGates: 0, GateTime: time.Second}
+	if got := ok.GatesPerSec(); got != 1000 {
+		t.Errorf("GatesPerSec() = %v, want 1000", got)
+	}
+}

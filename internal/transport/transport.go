@@ -12,6 +12,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"deepsecure/internal/obs"
 )
 
 // MsgType tags each frame with its protocol role.
@@ -193,6 +195,7 @@ func (c *Conn) Flush() error {
 	}
 	n, err := c.rw.Write(c.wbuf)
 	c.BytesSent.Add(int64(n))
+	obs.AddBytesSent(int64(n))
 	c.wbuf = c.wbuf[:0]
 	if err != nil {
 		return fmt.Errorf("transport: write: %w", err)
@@ -249,6 +252,7 @@ func (c *Conn) ReadFrame() (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("transport: read %v payload: %w", got, err)
 	}
 	c.BytesReceived.Add(int64(5 + n))
+	obs.AddBytesReceived(int64(5 + n))
 	return got, payload, nil
 }
 
