@@ -807,6 +807,80 @@ func BenchmarkSessionThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkSharedPool drives S concurrent in-process sessions through
+// one server, comparing the process-wide shared work-stealing scheduler
+// against dedicated per-session pools (PrivatePool). This is the
+// in-process half of the BENCH_load.json story — per-session pools
+// oversubscribe the machine as S grows, the shared pool keeps the
+// worker count fixed — and doubles as the per-PR deadlock canary for
+// the scheduler's steal paths: CI runs one iteration, so a regression
+// that wedges concurrent Do submissions hangs here, not in production.
+func BenchmarkSharedPool(b *testing.B) {
+	net, err := nn.NewNetwork(nn.Vec(32),
+		nn.NewDense(16),
+		nn.NewActivation(act.ReLU),
+		nn.NewDense(4),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.InitWeights(rand.New(rand.NewSource(71)))
+	rng := rand.New(rand.NewSource(72))
+	const k = 2 // inferences per session
+	xs := make([][]float64, k)
+	for i := range xs {
+		xs[i] = make([]float64, 32)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	for _, mode := range []struct {
+		name    string
+		private bool
+	}{{"shared", false}, {"private", true}} {
+		for _, sessions := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/sessions=%d", mode.name, sessions), func(b *testing.B) {
+				cfg := core.EngineConfig{PrivatePool: mode.private}
+				srv := &core.Server{Net: net, Fmt: fixed.Default, Engine: cfg}
+				if err := srv.Precompile(); err != nil {
+					b.Fatal(err)
+				}
+				cli := &core.Client{Engine: cfg}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					errs := make(chan error, 2*sessions)
+					for s := 0; s < sessions; s++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							cConn, sConn, closer := transport.Pipe()
+							defer closer.Close()
+							srvDone := make(chan struct{})
+							go func() {
+								defer close(srvDone)
+								if _, err := srv.ServeSession(sConn); err != nil {
+									errs <- err
+								}
+							}()
+							if _, _, err := cli.InferMany(cConn, xs); err != nil {
+								errs <- err
+							}
+							<-srvDone
+						}()
+					}
+					wg.Wait()
+					close(errs)
+					for err := range errs {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(sessions*k*b.N)/b.Elapsed().Seconds(), "inf/s")
+			})
+		}
+	}
+}
+
 // BenchmarkEngineThroughput compares the sequential engine (Workers=1)
 // against the level-scheduled parallel engine (Workers=GOMAXPROCS) on
 // the same session workload: both parties run the same mode, so the row

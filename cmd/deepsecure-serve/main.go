@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"deepsecure/internal/benchmarks"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/obs"
+	"deepsecure/internal/sched"
 )
 
 func buildModel(name string) (*nn.Network, error) {
@@ -71,7 +73,25 @@ func main() {
 	bankBackground := flag.Bool("bank-background", true, "refill the garble-ahead bank on a background goroutine")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/stats (JSON) on this address (empty disables)")
 	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the metrics address")
+	privatePool := flag.Bool("private-pool", false, "give every session its own engine worker set instead of the process-wide shared scheduler (baseline mode; oversubscribes cores under concurrent sessions)")
+	maxSessions := flag.Int("max-sessions", 0, "admission control: max concurrent sessions in the protocol (0 disables admission)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: max sessions waiting for a slot before new arrivals are shed")
+	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "admission control: max wait in the queue before a session is shed")
+	retryAfter := flag.Duration("retry-after", time.Second, "admission control: backoff hint sent with busy responses")
+	maxP99 := flag.Duration("max-p99", 0, "admission control: shed new sessions while the windowed inference p99 exceeds this (0 disables the latency guard)")
 	flag.Parse()
+
+	// Negative tuning values are configuration mistakes, not requests
+	// for a default: fail loudly instead of silently clamping.
+	if *pipeline < 0 {
+		log.Fatalf("-pipeline %d: must be >= 0 (0 selects the default depth %d, 1 is serial)", *pipeline, deepsecure.DefaultPipelineDepth)
+	}
+	if *maxBatch < 0 {
+		log.Fatalf("-max-batch %d: must be >= 0 (0 selects the default cap %d)", *maxBatch, deepsecure.DefaultMaxBatch)
+	}
+	if *bankDepth < 0 {
+		log.Fatalf("-bank-depth %d: must be >= 0 (0 disables garble-ahead banking)", *bankDepth)
+	}
 
 	net0, err := buildModel(*model)
 	if err != nil {
@@ -90,14 +110,22 @@ func main() {
 		LowWater:   *bankLowWater,
 		Background: *bankBackground,
 	}
+	admCfg := deepsecure.AdmissionConfig{
+		MaxActive:    *maxSessions,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		RetryAfter:   *retryAfter,
+		MaxP99:       *maxP99,
+	}
 	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
-		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10}),
+		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10, PrivatePool: *privatePool}),
 		deepsecure.WithIdleTimeout(*idle),
 		deepsecure.WithOTPool(poolCfg),
 		deepsecure.WithPipeline(*pipeline),
 		deepsecure.WithMaxBatch(*maxBatch),
 		deepsecure.WithBank(bankCfg),
-		deepsecure.WithSpeculativeOT(*otSpeculative || bankCfg.Enabled()))
+		deepsecure.WithSpeculativeOT(*otSpeculative || bankCfg.Enabled()),
+		deepsecure.WithAdmission(admCfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +145,20 @@ func main() {
 	if eff := bankCfg.Effective(); eff.Enabled() {
 		log.Printf("garble-ahead bank policy: depth %d, refill below %d (background=%v); banks fill on garbling clients",
 			eff.Depth, eff.LowWater, eff.Background)
+	}
+	fanout := *workers
+	if fanout <= 0 {
+		fanout = runtime.GOMAXPROCS(0)
+	}
+	if *privatePool {
+		log.Printf("engine pool: private per-session worker sets of %d (shared scheduler off)", fanout)
+	} else {
+		log.Printf("engine pool: shared work-stealing scheduler, %d worker(s) process-wide, per-session fan-out %d",
+			sched.Default().Workers(), fanout)
+	}
+	if admCfg.Enabled() {
+		log.Printf("admission control on: %d active session(s) max, queue %d (timeout %v), retry-after %v, p99 guard %v",
+			admCfg.MaxActive, admCfg.MaxQueue, *queueTimeout, *retryAfter, *maxP99)
 	}
 	if depth := (deepsecure.EngineConfig{Pipeline: *pipeline}).PipelineDepth(); depth == 1 {
 		log.Printf("cross-inference pipelining off: inferences on a session run serially")

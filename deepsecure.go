@@ -129,6 +129,18 @@ type (
 	SessionServer = core.Server
 	// ServerOption configures NewServer / ListenAndServe.
 	ServerOption = server.Option
+	// AdmissionConfig tunes the server's global admission controller:
+	// at most MaxActive sessions in the protocol at once, up to
+	// MaxQueue more waiting (bounded by QueueTimeout), and an optional
+	// windowed-p99 latency guard (MaxP99). Anything past the limits is
+	// refused with a protocol busy frame carrying RetryAfter. Pass it
+	// to NewServer via WithAdmission; the zero value disables
+	// admission.
+	AdmissionConfig = server.AdmissionConfig
+	// BusyError is returned by NewSession/Infer when the server sheds
+	// the session at admission: back off at least RetryAfter, then
+	// retry on a fresh connection. Detect it with errors.As.
+	BusyError = core.BusyError
 )
 
 // Server construction options.
@@ -163,6 +175,10 @@ var (
 	// at its first evaluator step, freeing the OT-pool turn for the next
 	// in-flight inference immediately.
 	WithSpeculativeOT = server.WithSpeculativeOT
+	// WithAdmission installs the global admission controller: sessions
+	// past the configured limits are refused with a busy frame (clients
+	// see *BusyError) instead of degrading every admitted session.
+	WithAdmission = server.WithAdmission
 )
 
 // DefaultPipelineDepth is the in-flight window used when

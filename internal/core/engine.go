@@ -12,6 +12,7 @@ import (
 	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/ot/precomp"
+	"deepsecure/internal/sched"
 	"deepsecure/internal/transport"
 )
 
@@ -90,6 +91,17 @@ type EngineConfig struct {
 	// timing but not frame order, and requires an enabled OT pool (it is
 	// a no-op otherwise).
 	SpeculativeOT bool
+	// PrivatePool opts this engine out of the process-wide shared
+	// work-stealing scheduler (internal/sched). By default every
+	// session's level runs submit chunks to one sched.Default() worker
+	// set sized to the machine, so S concurrent sessions share
+	// GOMAXPROCS workers instead of spawning S×Workers goroutines.
+	// Setting PrivatePool restores a dedicated per-pool worker set —
+	// the pre-shared behavior, useful for isolation benchmarks and as
+	// the baseline the shared-vs-private conformance tests pin against.
+	// Either way the produced byte streams are identical; only
+	// scheduling changes.
+	PrivatePool bool
 }
 
 // DefaultPipelineDepth is the in-flight window applied when
@@ -106,6 +118,16 @@ func (c EngineConfig) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// newPool builds the gc.Pool this configuration calls for: a view of
+// the process-wide shared scheduler fanning out at most workers() ways,
+// or a dedicated worker set when PrivatePool is set.
+func (c EngineConfig) newPool() *gc.Pool {
+	if c.PrivatePool {
+		return gc.NewPool(c.workers())
+	}
+	return gc.NewSharedPool(sched.Default(), c.workers())
 }
 
 func (c EngineConfig) pipeline() int {

@@ -206,9 +206,9 @@ func (s *plainTapeEval) OnDrop(w uint32) error {
 // in-memory recording pipe with the given worker count on both sides,
 // and returns the decoded output bits per inference plus the full byte
 // logs of each direction.
-func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, workers, nInfer int, seed int64) (outs [][]bool, g2e, e2g []byte) {
+func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, cfg EngineConfig, nInfer int, seed int64) (outs [][]bool, g2e, e2g []byte) {
 	t.Helper()
-	cfg := EngineConfig{Workers: workers, ChunkBytes: 512} // small chunks: many frames per run
+	workers := cfg.Workers
 	gToE := newLogHalf()
 	eToG := newLogHalf()
 	gConn := transport.New(logDuplex{r: eToG, w: gToE})
@@ -273,7 +273,7 @@ func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, work
 	if err != nil {
 		t.Fatalf("workers=%d: ot sender: %v", workers, err)
 	}
-	pool := gc.NewPool(cfg.workers())
+	pool := cfg.newPool()
 	free := make(chan []byte, 3)
 	for k := 0; k < nInfer; k++ {
 		g, err := gc.NewGarbler(rng)
@@ -331,6 +331,13 @@ func runEngines(t *testing.T, sched *circuit.Schedule, gBits, eBits []bool, work
 	return outs, gToE.bytesWritten(), eToG.bytesWritten()
 }
 
+// engineTestConfig is the runEngines baseline configuration: dedicated
+// per-engine pools (the pre-shared behavior) and small chunks so a run
+// produces many frames.
+func engineTestConfig(workers int) EngineConfig {
+	return EngineConfig{Workers: workers, ChunkBytes: 512, PrivatePool: true}
+}
+
 // TestEngineConformance is the cross-mode property test: random recycled
 // netlists must produce (a) plaintext-correct outputs, (b) identical
 // outputs under Workers=1 and Workers=4, and (c) byte-identical wire
@@ -366,8 +373,8 @@ func TestEngineConformance(t *testing.T) {
 
 		seed := int64(77000 + it)
 		const nInfer = 2
-		seqOuts, seqG2E, seqE2G := runEngines(t, sched, gBits, eBits, 1, nInfer, seed)
-		parOuts, parG2E, parE2G := runEngines(t, sched, gBits, eBits, 4, nInfer, seed)
+		seqOuts, seqG2E, seqE2G := runEngines(t, sched, gBits, eBits, engineTestConfig(1), nInfer, seed)
+		parOuts, parG2E, parE2G := runEngines(t, sched, gBits, eBits, engineTestConfig(4), nInfer, seed)
 
 		for k := 0; k < nInfer; k++ {
 			if fmt.Sprint(seqOuts[k]) != fmt.Sprint(ref.out) {
@@ -427,6 +434,61 @@ func TestEngineSessionConformance(t *testing.T) {
 			want = labels[0]
 		} else if labels[0] != want {
 			t.Fatalf("combo %v: label %d, want %d (from sequential run)", combo, labels[0], want)
+		}
+	}
+}
+
+// TestEngineSharedPoolConformance is the tentpole's byte-determinism
+// proof at the session-engine layer: for workers∈{1,2,4}, the shared
+// scheduler pool must produce wire streams byte-identical to the
+// dedicated per-session pool baseline, with 1, 2, and 4 sessions
+// running concurrently on the one process-wide scheduler. Run with
+// -race: concurrent sessions steal chunks from each other's regions.
+func TestEngineSharedPoolConformance(t *testing.T) {
+	r := rand.New(rand.NewSource(424))
+	tape, nG, nE := randomEngineTape(r)
+	sched, err := circuit.NewSchedule(tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBits := make([]bool, nG)
+	eBits := make([]bool, nE)
+	for i := range gBits {
+		gBits[i] = r.Intn(2) == 1
+	}
+	for i := range eBits {
+		eBits[i] = r.Intn(2) == 1
+	}
+	const nInfer = 2
+	seed := int64(88000)
+	for _, w := range []int{1, 2, 4} {
+		private := engineTestConfig(w)
+		_, wantG2E, wantE2G := runEngines(t, sched, gBits, eBits, private, nInfer, seed)
+		shared := private
+		shared.PrivatePool = false
+		for _, sessions := range []int{1, 2, 4} {
+			g2e := make([][]byte, sessions)
+			e2g := make([][]byte, sessions)
+			var wg sync.WaitGroup
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					_, g2e[s], e2g[s] = runEngines(t, sched, gBits, eBits, shared, nInfer, seed)
+				}(s)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			for s := 0; s < sessions; s++ {
+				if !bytes.Equal(wantG2E, g2e[s]) {
+					t.Fatalf("workers=%d sessions=%d: session %d garbler stream differs from private-pool baseline", w, sessions, s)
+				}
+				if !bytes.Equal(wantE2G, e2g[s]) {
+					t.Fatalf("workers=%d sessions=%d: session %d evaluator stream differs from private-pool baseline", w, sessions, s)
+				}
+			}
 		}
 	}
 }

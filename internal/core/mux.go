@@ -207,12 +207,13 @@ type sessionMux struct {
 	evalSteps  int  // evaluator-input steps per inference (from the schedule)
 	spec       bool // speculative OT issue/collect is active this session
 
-	events  chan muxEvent
-	stop    chan struct{}
-	ctxs    map[uint64]*evalCtx
-	pools   chan *gc.Pool
-	bufs    chan []byte // recycled table-pending buffers, see getBuf
-	spawned int         // reader-owned until readerDone, then main-owned
+	events     chan muxEvent
+	stop       chan struct{}
+	ctxs       map[uint64]*evalCtx
+	sharedPool *gc.Pool      // one shared-scheduler pool for every context, nil in private mode
+	pools      chan *gc.Pool // private mode: circulating per-context pools
+	bufs       chan []byte   // recycled table-pending buffers, see getBuf
+	spawned    int           // reader-owned until readerDone, then main-owned
 
 	// In-flight accounting for Stats: time with ≥2 inferences active is
 	// the session's measured overlap. gateTime and the gate counters
@@ -248,11 +249,16 @@ func newSessionMux(srv *Server, conn *transport.Conn, mc *muxConn, otp *precomp.
 		// Safe here: the mux is not started, no reader routes yet.
 		mc.otCh = make(chan frame, 2+depth*evalSteps)
 	}
+	var sharedPool *gc.Pool
+	if !srv.Engine.PrivatePool {
+		sharedPool = srv.Engine.newPool()
+	}
 	return &sessionMux{
 		srv:        srv,
 		conn:       conn,
 		mc:         mc,
 		otp:        otp,
+		sharedPool: sharedPool,
 		seqr:       precomp.NewSequencer(1),
 		win:        transport.NewWindow(depth),
 		sched:      sched,
@@ -534,10 +540,16 @@ func (m *sessionMux) endInFlight() {
 	m.inFlight--
 }
 
-// getPool takes a recycled worker pool or builds one; up to window-depth
-// pools circulate (each context needs its own: gc.Pool batch calls are
-// exclusive per caller).
+// getPool hands a context its worker pool. In shared mode one
+// scheduler-backed pool serves every in-flight context (its batch calls
+// carry no per-call state, so concurrent contexts are safe — chunks all
+// land on the process-wide worker set). In private mode up to
+// window-depth dedicated pools circulate, because a private gc.Pool's
+// batch calls are exclusive per caller.
 func (m *sessionMux) getPool() *gc.Pool {
+	if m.sharedPool != nil {
+		return m.sharedPool
+	}
 	select {
 	case p := <-m.pools:
 		return p
@@ -547,6 +559,9 @@ func (m *sessionMux) getPool() *gc.Pool {
 }
 
 func (m *sessionMux) putPool(p *gc.Pool) {
+	if m.sharedPool != nil {
+		return
+	}
 	select {
 	case m.pools <- p:
 	default:

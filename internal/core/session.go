@@ -53,7 +53,27 @@ import (
 // TestBatchSize1Conformance). OT frames stay untagged — the pool's
 // strict FIFO order already serializes them into the inference-id order
 // both parties derive independently.
-const protocolHello = "deepsecure/5"
+//
+// Version 6 adds the admission path to version 5: a server under load
+// may answer MsgHello with MsgBusy (uvarint retry-after milliseconds)
+// instead of MsgArch and close the connection; clients surface it as a
+// retryable *BusyError. Admitted sessions are wire-identical to v5
+// modulo the hello string.
+const protocolHello = "deepsecure/6"
+
+// BusyError is returned by NewSession when the server sheds the session
+// at admission (protocol v6 MsgBusy): the server is saturated and asks
+// the client to come back after RetryAfter. The connection is closed by
+// the server; a retry must dial fresh. Detect it with errors.As and
+// back off at least RetryAfter before retrying.
+type BusyError struct {
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("deepsecure: server busy, retry after %v", e.RetryAfter)
+}
 
 // Stats summarizes one secure inference — or, for session-level calls, a
 // whole session of them.
@@ -308,7 +328,7 @@ func (c *Client) bankFor(specData []byte, prog *netgen.Program) *bank.Bank {
 	if c.banks == nil {
 		c.banks = make(map[string]*bank.Bank)
 	}
-	b := bank.New(prog.Schedule, rngOrDefault(c.Rng), c.Engine.workers(), c.Engine.Bank)
+	b := bank.NewWithPool(prog.Schedule, rngOrDefault(c.Rng), c.Engine.newPool(), c.Engine.Bank)
 	c.banks[key] = b
 	return b
 }
@@ -508,9 +528,16 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 	if err := conn.Send(transport.MsgHello, []byte(protocolHello)); err != nil {
 		return nil, err
 	}
-	specData, err := conn.Recv(transport.MsgArch)
+	mt, specData, err := conn.RecvAny(transport.MsgArch, transport.MsgBusy)
 	if err != nil {
 		return nil, err
+	}
+	if mt == transport.MsgBusy {
+		ms, n := binary.Uvarint(specData)
+		if n <= 0 {
+			return nil, fmt.Errorf("deepsecure: malformed busy frame")
+		}
+		return nil, &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
 	}
 	spec, err := nn.UnmarshalSpec(specData)
 	if err != nil {
@@ -557,7 +584,7 @@ func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
 		maxBatch: maxBatch,
 		nextID:   1,
 		cfg:      c.Engine,
-		pool:     gc.NewPool(c.Engine.workers()),
+		pool:     c.Engine.newPool(),
 		freeBufs: make(chan []byte, 3),
 		tagBuf:   make([]byte, 0, 2*binary.MaxVarintLen64),
 	}

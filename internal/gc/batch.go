@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"deepsecure/internal/circuit"
+	"deepsecure/internal/sched"
 )
 
 // This file is the level-batch face of the GC engine: where Garble/Eval
@@ -18,16 +19,32 @@ import (
 // Pool can stripe the gates across workers while the produced bytes stay
 // identical for any worker count.
 
-// Pool is a reusable worker set for batch garbling/evaluation. Each
-// worker owns a private Hasher so the fixed-key AES state is never shared
-// across goroutines. A Pool is safe for reuse across batches and
-// sessions, but a single batch call uses it exclusively.
+// Pool is a reusable worker set for batch garbling/evaluation, in one
+// of two modes. A private pool (NewPool) owns per-worker goroutines
+// spawned per batch call, each with a private Hasher so the fixed-key
+// AES state is never shared across goroutines; a single batch call uses
+// a private pool exclusively. A shared pool (NewSharedPool) owns no
+// workers at all: batch calls submit their per-worker spans as chunks
+// to a process-wide sched.Pool, whose fixed worker set steals work
+// across every session's level runs. A shared-mode Pool keeps no
+// per-call state (hashers come from a recycling pool per chunk), so —
+// unlike private mode — it IS safe for concurrent batch calls and one
+// instance can back a whole server.
+//
+// Either mode stripes gates with identical span arithmetic, so the
+// bytes produced never depend on the mode or on which goroutine ran a
+// span (pinned by TestSharedPoolConformance).
 type Pool struct {
 	hashers []*Hasher
+
+	// Shared mode: submit spans to this scheduler, fanning out at most
+	// width ways. hashers is nil in shared mode.
+	shared *sched.Pool
+	width  int
 }
 
-// NewPool builds a pool of n workers (n < 1 is clamped to 1, the
-// sequential mode).
+// NewPool builds a private pool of n workers (n < 1 is clamped to 1,
+// the sequential mode).
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
@@ -39,8 +56,36 @@ func NewPool(n int) *Pool {
 	return &Pool{hashers: hs}
 }
 
-// Workers returns the pool's worker count.
-func (p *Pool) Workers() int { return len(p.hashers) }
+// NewSharedPool builds a pool that submits its level runs to the shared
+// scheduler s, fanning each run out at most width ways (width < 1 is
+// clamped to 1). The returned Pool is safe for concurrent batch calls;
+// the byte streams it produces are identical to a width-worker private
+// pool's.
+func NewSharedPool(s *sched.Pool, width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	return &Pool{shared: s, width: width}
+}
+
+// Workers returns the pool's fan-out width: the worker count of a
+// private pool, the per-run width cap of a shared one.
+func (p *Pool) Workers() int {
+	if p.shared != nil {
+		return p.width
+	}
+	return len(p.hashers)
+}
+
+// Shared reports whether this pool submits to a shared scheduler (and
+// is therefore safe for concurrent batch calls).
+func (p *Pool) Shared() bool { return p.shared != nil }
+
+// hasherPool recycles Hashers for shared-mode chunks: a shared gc.Pool
+// owns no workers, so each executed chunk borrows a hasher for its
+// lifetime. The AES round keys are fixed, so any hasher is
+// interchangeable with any other.
+var hasherPool = sync.Pool{New: func() any { return NewHasher() }}
 
 // parallelMinANDs is the smallest AND count worth fanning out: below it,
 // goroutine handoff costs more than the AES work saved.
@@ -76,7 +121,7 @@ func (p *Pool) run(nAND, nFree int, fn func(h *Hasher, andLo, andHi, freeLo, fre
 // while the spans handed to workers remain gate ranges (samples stay
 // innermost, per worker, for cache locality).
 func (p *Pool) runScaled(nAND, nFree, scale int, fn func(h *Hasher, andLo, andHi, freeLo, freeHi int) error) error {
-	w := len(p.hashers)
+	w := p.Workers()
 	if n := nAND + nFree; w > n {
 		w = n
 	}
@@ -94,7 +139,30 @@ func (p *Pool) runScaled(nAND, nFree, scale int, fn func(h *Hasher, andLo, andHi
 		}
 	}
 	if w <= 1 || (nAND*scale < parallelMinANDs && (nAND+nFree)*scale < parallelMinGates) {
+		if p.shared != nil {
+			h := hasherPool.Get().(*Hasher)
+			err := fn(h, 0, nAND, 0, nFree)
+			hasherPool.Put(h)
+			return err
+		}
 		return fn(p.hashers[0], 0, nAND, 0, nFree)
+	}
+	if p.shared != nil {
+		// Shared mode: the same w spans, as chunks of one scheduler
+		// region. Workers (and this goroutine) steal chunks across every
+		// active region in the process; span arithmetic is untouched, so
+		// the produced bytes match private mode exactly.
+		return p.shared.Do(w, func(i int) error {
+			andLo, andHi := i*nAND/w, (i+1)*nAND/w
+			freeLo, freeHi := i*nFree/w, (i+1)*nFree/w
+			if andLo == andHi && freeLo == freeHi {
+				return nil
+			}
+			h := hasherPool.Get().(*Hasher)
+			err := fn(h, andLo, andHi, freeLo, freeHi)
+			hasherPool.Put(h)
+			return err
+		})
 	}
 	errs := make([]error, w)
 	var wg sync.WaitGroup

@@ -195,6 +195,35 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
 	return nil
 }
 
+// Delta returns s minus an earlier snapshot of the same histogram: the
+// observations recorded in the window between the two. This is how the
+// admission controller's p99 guard sees recent latency from a cumulative
+// histogram. The two snapshots must have identical bounds; a zero-value
+// prev yields a copy of s.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) (HistogramSnapshot, error) {
+	d := HistogramSnapshot{
+		Bounds: append([]int64(nil), s.Bounds...),
+		Counts: append([]int64(nil), s.Counts...),
+		Sum:    s.Sum,
+	}
+	if len(prev.Bounds) == 0 && len(prev.Counts) == 0 {
+		return d, nil
+	}
+	if len(s.Bounds) != len(prev.Bounds) || len(s.Counts) != len(prev.Counts) {
+		return HistogramSnapshot{}, errBoundsMismatch
+	}
+	for i, b := range s.Bounds {
+		if b != prev.Bounds[i] {
+			return HistogramSnapshot{}, errBoundsMismatch
+		}
+	}
+	for i, c := range prev.Counts {
+		d.Counts[i] -= c
+	}
+	d.Sum -= prev.Sum
+	return d, nil
+}
+
 var errBoundsMismatch = errorString("obs: histogram bounds mismatch")
 
 type errorString string

@@ -191,6 +191,13 @@ var (
 	mBankSpills = Default.Counter(Desc{Name: "deepsecure_bank_spills_total",
 		Help: "Banked executions spilled to disk."})
 
+	mAdmissionQueueDepth = Default.Gauge(Desc{Name: "deepsecure_admission_queue_depth",
+		Help: "Sessions currently waiting in the admission queue."})
+	mSessionsQueued = Default.Counter(Desc{Name: "deepsecure_sessions_queued_total",
+		Help: "Sessions that waited in the admission queue before being served."})
+	mSessionsShed = Default.Counter(Desc{Name: "deepsecure_sessions_shed_total",
+		Help: "Sessions refused with MsgBusy by the admission controller."})
+
 	mGatesAnd = Default.Counter(Desc{Name: "deepsecure_gates_total",
 		Help:   "Gates processed by the crypto cores, by kind.",
 		Labels: []Label{{"kind", "and"}}})
@@ -357,6 +364,36 @@ func IncBankSpills() {
 	}
 }
 
+// AddAdmissionQueueDepth moves the admission queue-depth gauge (+1 on
+// enqueue, -1 on dequeue).
+func AddAdmissionQueueDepth(delta int64) {
+	if enabled.Load() {
+		mAdmissionQueueDepth.Add(delta)
+	}
+}
+
+// IncSessionsQueued counts a session that waited in the admission queue.
+func IncSessionsQueued() {
+	if enabled.Load() {
+		mSessionsQueued.Inc()
+	}
+}
+
+// IncSessionsShed counts a session refused with MsgBusy.
+func IncSessionsShed() {
+	if enabled.Load() {
+		mSessionsShed.Inc()
+	}
+}
+
+// InferenceLatencySnapshot returns the current cumulative end-to-end
+// inference latency histogram — the signal the admission controller's
+// windowed p99 guard differences (via HistogramSnapshot.Delta) to see
+// recent latency instead of the process lifetime.
+func InferenceLatencySnapshot() HistogramSnapshot {
+	return mInferenceSeconds.Snapshot()
+}
+
 // AddGates folds a finished engine run's gate counts and crypto-core
 // time into the global gate counters.
 func AddGates(and, free int64, gateTime time.Duration) {
@@ -391,6 +428,9 @@ func ServingLine(s Snapshot) string {
 		fmt.Fprintf(&b, " inf_p50=%s inf_p95=%s",
 			time.Duration(lat.Hist.Quantile(0.50)).Round(time.Microsecond),
 			time.Duration(lat.Hist.Quantile(0.95)).Round(time.Microsecond))
+	}
+	if q, sh := cv("deepsecure_admission_queue_depth"), cv("deepsecure_sessions_shed_total"); q > 0 || sh > 0 {
+		fmt.Fprintf(&b, " adm_queue=%d shed=%d", q, sh)
 	}
 	hits, misses := cv("deepsecure_bank_hits_total"), cv("deepsecure_bank_misses_total")
 	if hits+misses > 0 {

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsEveryChunkOnce pins the core contract: every chunk index in
+// [0, n) executes exactly once, for chunk counts around the worker
+// count on both sides.
+func TestDoRunsEveryChunkOnce(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	for _, n := range []int{1, 2, 3, 4, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		if err := p.Do(n, func(c int) error {
+			counts[c].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for c := range counts {
+			if got := counts[c].Load(); got != 1 {
+				t.Fatalf("n=%d: chunk %d ran %d times", n, c, got)
+			}
+		}
+	}
+}
+
+// TestDoFirstErrorWins checks a chunk error reaches the caller and does
+// not stop the other chunks from completing (the engines' span
+// accounting relies on every chunk finishing).
+func TestDoFirstErrorWins(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := p.Do(16, func(c int) error {
+		ran.Add(1)
+		if c == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("ran %d chunks, want all 16", ran.Load())
+	}
+}
+
+// TestNilAndClosedPoolsRunInline pins the degradation path: a nil pool
+// and a closed pool both still execute every chunk (on the caller).
+func TestNilAndClosedPoolsRunInline(t *testing.T) {
+	var nilPool *Pool
+	var n atomic.Int32
+	if err := nilPool.Do(8, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("nil pool ran %d/8 chunks", n.Load())
+	}
+
+	p := New(2)
+	p.Close()
+	n.Store(0)
+	if err := p.Do(8, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("closed pool ran %d/8 chunks", n.Load())
+	}
+}
+
+// TestConcurrentRegions hammers one pool from many submitting
+// goroutines — the shared-across-sessions shape — checking isolation:
+// every region sees exactly its own chunk set. Run with -race.
+func TestConcurrentRegions(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const submitters = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := 1 + (s+r)%9
+				var sum atomic.Int64
+				if err := p.Do(n, func(c int) error {
+					sum.Add(int64(c) + 1)
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if want := int64(n * (n + 1) / 2); sum.Load() != want {
+					errs <- fmt.Errorf("submitter %d round %d: sum %d, want %d", s, r, sum.Load(), want)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestStealingAcrossRegions proves chunks of one region really run on
+// multiple goroutines when workers are free: with 4 background workers
+// and chunks that block until enough of them are running concurrently,
+// the region can only finish if workers stole chunks alongside the
+// caller.
+func TestStealingAcrossRegions(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const need = 3 // caller + at least two stealing workers
+	var running atomic.Int32
+	release := make(chan struct{})
+	var once sync.Once
+	err := p.Do(need, func(c int) error {
+		if running.Add(1) == need {
+			once.Do(func() { close(release) })
+		}
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultSingleton checks Default returns one process-wide pool.
+func TestDefaultSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not a singleton")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+}

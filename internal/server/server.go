@@ -10,6 +10,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,13 @@ type Stats struct {
 	Errors         int64 // sessions that ended with a protocol error
 	BytesSent      int64 // protocol bytes sent across all sessions
 	BytesReceived  int64 // protocol bytes received across all sessions
+
+	// Admission accounting (zero unless WithAdmission is configured):
+	// sessions that waited in the admission queue, sessions refused with
+	// MsgBusy, and the instantaneous queue depth.
+	QueuedSessions int64
+	ShedSessions   int64
+	QueueDepth     int64
 
 	// Offline/online OT accounting across all sessions (see
 	// core.Stats): pooled random OTs generated, pooled OTs consumed by
@@ -77,6 +85,7 @@ type Server struct {
 	Logf func(format string, args ...any)
 
 	idleTimeout time.Duration
+	adm         *admission // nil unless WithAdmission configured
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -317,6 +326,28 @@ func (c *idleConn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
+// admissionShedTimeout bounds the shed handshake (read the client's
+// hello, answer MsgBusy): a shed must never pin a goroutine on a slow
+// or hostile peer.
+const admissionShedTimeout = 2 * time.Second
+
+// shed answers an un-admitted connection with MsgBusy. The client's
+// MsgHello is read first: closing a socket with unread inbound data may
+// reset the connection and destroy the in-flight busy frame.
+func (s *Server) shed(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(admissionShedTimeout))
+	tc := transport.New(conn)
+	if _, err := tc.Recv(transport.MsgHello); err != nil {
+		return
+	}
+	retry := s.adm.cfg.retryAfter()
+	payload := binary.AppendUvarint(nil, uint64(retry/time.Millisecond))
+	if tc.Send(transport.MsgBusy, payload) == nil {
+		tc.Flush()
+	}
+	s.logf("session from %s shed at admission (retry after %v)", conn.RemoteAddr(), retry)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -325,6 +356,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	if s.adm != nil {
+		release, ok := s.adm.acquire()
+		if !ok {
+			s.shed(conn)
+			return
+		}
+		defer release()
+	}
 	s.sessions.Add(1)
 	s.active.Add(1)
 	obs.IncSessions()
@@ -396,7 +435,7 @@ func (s *Server) logf(format string, args ...any) {
 
 // Stats returns a snapshot of the lifetime counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Sessions:       s.sessions.Load(),
 		ActiveSessions: s.active.Load(),
 		Inferences:     s.inferences.Load(),
@@ -412,6 +451,12 @@ func (s *Server) Stats() Stats {
 		FreeGates:      s.freeGates.Load(),
 		GateTime:       time.Duration(s.gateTimeNs.Load()),
 	}
+	if s.adm != nil {
+		st.QueuedSessions = s.adm.queued.Load()
+		st.ShedSessions = s.adm.shed.Load()
+		st.QueueDepth = s.adm.queueDepth.Load()
+	}
+	return st
 }
 
 // Shutdown stops accepting new connections and waits for in-flight
@@ -448,6 +493,9 @@ func (s *Server) closeListener() {
 	s.closed = true
 	if s.listener != nil {
 		s.listener.Close()
+	}
+	if s.adm != nil {
+		s.adm.close() // unblock admission-queue waiters
 	}
 }
 

@@ -77,6 +77,12 @@ const (
 	MsgBatchInputs
 	MsgBatchTables
 	MsgBatchOutputs
+	// MsgBusy (protocol v6) is the admission controller's shed response:
+	// sent by the server in place of MsgArch when it cannot take the
+	// session, carrying a uvarint retry-after hint in milliseconds. The
+	// server closes the connection after it; the client surfaces a typed
+	// retryable error instead of a timeout.
+	MsgBusy
 
 	// msgTypeEnd sentinels the name table: every defined MsgType is
 	// strictly below it (tests iterate the full range).
@@ -105,6 +111,7 @@ var msgNames = map[MsgType]string{
 	MsgBatchBegin: "batch-begin", MsgBatchConst: "batch-const",
 	MsgBatchInputs: "batch-inputs", MsgBatchTables: "batch-tables",
 	MsgBatchOutputs: "batch-outputs",
+	MsgBusy:         "busy",
 }
 
 // String names the message type.
