@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -32,7 +31,6 @@ import (
 
 	"deepsecure"
 	"deepsecure/internal/obs"
-	"deepsecure/internal/transport"
 )
 
 type config struct {
@@ -118,38 +116,37 @@ func main() {
 
 	runSession := func(idx int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)))
-		var sess *deepsecure.Session
-		var conn net.Conn
-		for attempt := 0; ; attempt++ {
-			nc, err := net.DialTimeout("tcp", cfg.Connect, *dialTimeout)
-			if err != nil {
-				log.Printf("session %d: dial: %v", idx, err)
-				failed.Add(1)
-				return
-			}
-			t0 := time.Now()
-			s, err := cli.NewSession(transport.New(nc))
-			if err == nil {
-				setupHist.Observe(int64(time.Since(t0)))
-				sess, conn = s, nc
-				break
-			}
-			nc.Close()
+		// Session establishment rides the facade's retry policy: busy
+		// responses back off by at least the server's retry-after hint,
+		// and transient network failures (dial errors, peers dying
+		// mid-handshake) re-dial instead of failing the session outright.
+		// t0 tracks the start of the latest attempt so setup latency
+		// measures the successful handshake, not the backoff waits.
+		t0 := time.Now()
+		sess, conn, err := deepsecure.DialSession(cfg.Connect, cli, deepsecure.RetryPolicy{
+			MaxAttempts: cfg.Retries + 1,
+			DialTimeout: *dialTimeout,
+			OnRetry: func(_ int, err error, wait time.Duration) {
+				retries.Add(1)
+				var be *deepsecure.BusyError
+				if errors.As(err, &be) {
+					busy.Add(1)
+				}
+				t0 = time.Now().Add(wait)
+			},
+		})
+		if err != nil {
 			var be *deepsecure.BusyError
 			if errors.As(err, &be) {
 				busy.Add(1)
-				if attempt >= cfg.Retries {
-					dropped.Add(1)
-					return
-				}
-				retries.Add(1)
-				time.Sleep(be.RetryAfter)
-				continue
+				dropped.Add(1)
+				return
 			}
 			log.Printf("session %d: setup: %v", idx, err)
 			failed.Add(1)
 			return
 		}
+		setupHist.Observe(int64(time.Since(t0)))
 		defer conn.Close()
 
 		x := make([]float64, sess.InputLen())

@@ -79,6 +79,10 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "admission control: max wait in the queue before a session is shed")
 	retryAfter := flag.Duration("retry-after", time.Second, "admission control: backoff hint sent with busy responses")
 	maxP99 := flag.Duration("max-p99", 0, "admission control: shed new sessions while the windowed inference p99 exceeds this (0 disables the latency guard)")
+	shedTimeout := flag.Duration("shed-timeout", 0, "admission control: bound on the shed handshake with a refused client (0 = default 2s)")
+	handshakeTimeout := flag.Duration("handshake-timeout", 0, "per-session handshake deadline (0 disables)")
+	otSetupTimeout := flag.Duration("ot-setup-timeout", 0, "per-session OT-setup deadline (0 disables)")
+	inferTimeout := flag.Duration("infer-timeout", 0, "per-inference deadline, fused batches included (0 disables)")
 	flag.Parse()
 
 	// Negative tuning values are configuration mistakes, not requests
@@ -116,9 +120,21 @@ func main() {
 		QueueTimeout: *queueTimeout,
 		RetryAfter:   *retryAfter,
 		MaxP99:       *maxP99,
+		ShedTimeout:  *shedTimeout,
+	}
+	if err := admCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	deadlines := deepsecure.DeadlineConfig{
+		Handshake: *handshakeTimeout,
+		OTSetup:   *otSetupTimeout,
+		Inference: *inferTimeout,
+	}
+	if err := deadlines.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	srv, err := deepsecure.NewServer(net0, deepsecure.DefaultFormat,
-		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10, PrivatePool: *privatePool}),
+		deepsecure.WithEngine(deepsecure.EngineConfig{Workers: *workers, ChunkBytes: *chunkKB << 10, PrivatePool: *privatePool, Deadlines: deadlines}),
 		deepsecure.WithIdleTimeout(*idle),
 		deepsecure.WithOTPool(poolCfg),
 		deepsecure.WithPipeline(*pipeline),
@@ -159,6 +175,10 @@ func main() {
 	if admCfg.Enabled() {
 		log.Printf("admission control on: %d active session(s) max, queue %d (timeout %v), retry-after %v, p99 guard %v",
 			admCfg.MaxActive, admCfg.MaxQueue, *queueTimeout, *retryAfter, *maxP99)
+	}
+	if deadlines != (deepsecure.DeadlineConfig{}) {
+		log.Printf("phase deadlines on: handshake %v, ot-setup %v, inference %v (0 = unbounded)",
+			deadlines.Handshake, deadlines.OTSetup, deadlines.Inference)
 	}
 	if depth := (deepsecure.EngineConfig{Pipeline: *pipeline}).PipelineDepth(); depth == 1 {
 		log.Printf("cross-inference pipelining off: inferences on a session run serially")

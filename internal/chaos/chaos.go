@@ -1,0 +1,316 @@
+// Package chaos is a deterministic scripted fault-injection layer for
+// the deepsecure transport: it wraps a connection's byte streams and
+// perturbs them — added latency, bandwidth shaping, partial writes,
+// connection resets at the Nth byte, payload bit-flips — according to a
+// Script derived from a single seed. The same seed always produces the
+// same fault plan at the same byte offsets, so a failing chaos-sweep run
+// reproduces from its logged seed alone.
+//
+// The injected faults are exactly the failure model the protocol must
+// survive cleanly: a reset is a dying peer or middlebox, a flip is
+// corruption the GC output-label authentication must catch (the paper's
+// guarantee that tampering yields an error, never a wrong label), delays
+// and shaping are congested links that must not wedge a session past its
+// deadlines, and chopped writes exercise every io.ReadFull short-read
+// path in the framing. The chaos sweep (sweep_test.go) drives the full
+// protocol through scripted faults and asserts the only outcomes are
+// clean errors or correct outputs — no hangs, no leaked goroutines, no
+// silent corruption.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Direction selects which of the wrapped connection's streams an event
+// perturbs, from the wrapping party's point of view.
+type Direction uint8
+
+const (
+	// Write perturbs bytes this party sends.
+	Write Direction = iota
+	// Read perturbs bytes this party receives.
+	Read
+)
+
+func (d Direction) String() string {
+	if d == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one fault kind.
+type Op uint8
+
+const (
+	// OpDelay sleeps Delay once when the stream reaches Off.
+	OpDelay Op = iota
+	// OpChop caps every subsequent transfer at Chunk bytes: partial
+	// writes (or short reads) from Off onward.
+	OpChop
+	// OpThrottle is bandwidth shaping: transfers are capped at Chunk
+	// bytes each and followed by a Delay pause, from Off onward.
+	OpThrottle
+	// OpFlip XORs Mask into the stream byte at Off.
+	OpFlip
+	// OpReset closes the underlying connection when the stream reaches
+	// Off; both directions fail from that point on.
+	OpReset
+
+	numOps
+)
+
+var opNames = [numOps]string{"delay", "chop", "throttle", "flip", "reset"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Event is one scripted fault, triggered when its direction's stream
+// reaches byte offset Off.
+type Event struct {
+	Dir   Direction
+	Off   int64
+	Op    Op
+	Delay time.Duration // OpDelay: one-shot sleep; OpThrottle: per-chunk pause
+	Chunk int           // OpChop/OpThrottle: transfer size cap in bytes
+	Mask  byte          // OpFlip: XOR mask (non-zero)
+}
+
+func (e Event) String() string {
+	switch e.Op {
+	case OpDelay:
+		return fmt.Sprintf("%s@%d:delay(%v)", e.Dir, e.Off, e.Delay)
+	case OpChop:
+		return fmt.Sprintf("%s@%d:chop(%dB)", e.Dir, e.Off, e.Chunk)
+	case OpThrottle:
+		return fmt.Sprintf("%s@%d:throttle(%dB/%v)", e.Dir, e.Off, e.Chunk, e.Delay)
+	case OpFlip:
+		return fmt.Sprintf("%s@%d:flip(%#02x)", e.Dir, e.Off, e.Mask)
+	case OpReset:
+		return fmt.Sprintf("%s@%d:reset", e.Dir, e.Off)
+	}
+	return "event?"
+}
+
+// Script is a deterministic fault plan: a seed and the events it
+// expands to, each anchored to a byte offset of one stream direction.
+type Script struct {
+	Seed   int64
+	Events []Event
+}
+
+func (s Script) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("seed=%d [%s]", s.Seed, strings.Join(parts, " "))
+}
+
+// NewScript expands one seed into a fault plan over streams of roughly
+// span bytes. The expansion is pure — same seed and span, same events —
+// which is the whole point: a chaos run is reproduced from its seed.
+// Offsets are biased toward the start of the stream (where the
+// handshake and OT setup live) but reach across the full span; delays
+// stay small so scripted runs terminate promptly.
+func NewScript(seed, span int64) Script {
+	if span < 256 {
+		span = 256
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(4)
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var off int64
+		if rng.Intn(2) == 0 {
+			off = rng.Int63n(4096) // handshake / OT-setup region
+		} else {
+			off = rng.Int63n(span)
+		}
+		e := Event{Dir: Direction(rng.Intn(2)), Off: off}
+		switch rng.Intn(10) {
+		case 0, 1, 2: // 30% latency
+			e.Op = OpDelay
+			e.Delay = time.Duration(1+rng.Intn(30)) * time.Millisecond
+		case 3, 4: // 20% partial writes / short reads
+			e.Op = OpChop
+			e.Chunk = 1 + rng.Intn(128)
+		case 5: // 10% bandwidth shaping
+			e.Op = OpThrottle
+			e.Chunk = 256 + rng.Intn(768)
+			e.Delay = time.Duration(100+rng.Intn(400)) * time.Microsecond
+		case 6, 7: // 20% bit-flips
+			e.Op = OpFlip
+			e.Mask = 1 << uint(rng.Intn(8))
+		default: // 20% connection resets
+			e.Op = OpReset
+		}
+		evs = append(evs, e)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Off < evs[j].Off })
+	return Script{Seed: seed, Events: evs}
+}
+
+// ErrInjectedReset is the error a Conn returns for I/O hitting a
+// scripted OpReset point.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// side is one direction's fault-application state. Each side is only
+// touched by the goroutine driving that direction, matching how the
+// protocol uses a transport.Conn (one reader, externally serialized
+// writers).
+type side struct {
+	events []Event // this direction's events, sorted by Off
+	off    int64   // stream position
+	chunk  int     // current transfer cap, 0 = unlimited
+	pause  time.Duration
+}
+
+// pending returns the next un-triggered event, or nil.
+func (s *side) pending() *Event {
+	if len(s.events) == 0 {
+		return nil
+	}
+	return &s.events[0]
+}
+
+func (s *side) pop() { s.events = s.events[1:] }
+
+// Conn applies a Script to an underlying byte-stream connection. It
+// wraps whatever transport.New would otherwise wrap (a net.Conn, a pipe
+// half); faults apply at exact byte offsets of each direction's stream,
+// independent of how the protocol above frames its writes. Close is
+// idempotent and safe from any goroutine — sweep harnesses use it as a
+// client-side deadline backstop.
+type Conn struct {
+	rwc io.ReadWriteCloser
+	r   side
+	w   side
+
+	reset     atomic.Bool // a scripted reset fired; all I/O fails from here
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Wrap applies script to conn.
+func Wrap(conn io.ReadWriteCloser, script Script) *Conn {
+	c := &Conn{rwc: conn}
+	for _, e := range script.Events {
+		if e.Dir == Read {
+			c.r.events = append(c.r.events, e)
+		} else {
+			c.w.events = append(c.w.events, e)
+		}
+	}
+	return c
+}
+
+// apply triggers every event scheduled at the side's current offset.
+// A reset reports ErrInjectedReset after closing the connection; a flip
+// returns its mask for the caller to fold into the byte at this offset.
+func (c *Conn) apply(s *side) (mask byte, err error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	for {
+		ev := s.pending()
+		if ev == nil || ev.Off > s.off {
+			return mask, nil
+		}
+		s.pop()
+		switch ev.Op {
+		case OpDelay:
+			time.Sleep(ev.Delay)
+		case OpChop:
+			s.chunk, s.pause = ev.Chunk, 0
+		case OpThrottle:
+			s.chunk, s.pause = ev.Chunk, ev.Delay
+		case OpFlip:
+			mask ^= ev.Mask
+		case OpReset:
+			c.reset.Store(true)
+			c.Close()
+			return 0, ErrInjectedReset
+		}
+	}
+}
+
+// span returns how many of n bytes to transfer before the next event
+// boundary or shaping cap.
+func (s *side) span(n int) int {
+	if s.chunk > 0 && n > s.chunk {
+		n = s.chunk
+	}
+	if ev := s.pending(); ev != nil {
+		if lim := ev.Off - s.off; int64(n) > lim {
+			n = int(lim)
+		}
+	}
+	return n
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		mask, err := c.apply(&c.w)
+		if err != nil {
+			return written, err
+		}
+		seg := p[written : written+c.w.span(len(p)-written)]
+		if mask != 0 {
+			// Flip the byte at the current offset without mutating the
+			// caller's buffer (the transport reuses its write buffer).
+			flipped := append([]byte(nil), seg...)
+			flipped[0] ^= mask
+			seg = flipped
+		}
+		n, err := c.rwc.Write(seg)
+		written += n
+		c.w.off += int64(n)
+		if err != nil {
+			return written, err
+		}
+		if c.w.pause > 0 {
+			time.Sleep(c.w.pause)
+		}
+	}
+	return written, nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return c.rwc.Read(p)
+	}
+	mask, err := c.apply(&c.r)
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.rwc.Read(p[:c.r.span(len(p))])
+	if n > 0 && mask != 0 {
+		p[0] ^= mask
+	}
+	c.r.off += int64(n)
+	if c.r.pause > 0 && n > 0 {
+		time.Sleep(c.r.pause)
+	}
+	return n, err
+}
+
+// Close closes the underlying connection (once).
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.rwc.Close() })
+	return c.closeErr
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScriptDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		a := NewScript(seed, 1<<20)
+		b := NewScript(seed, 1<<20)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: script not reproducible:\n%v\n%v", seed, a, b)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("seed %d: empty script", seed)
+		}
+		for i, e := range a.Events {
+			if i > 0 && e.Off < a.Events[i-1].Off {
+				t.Fatalf("seed %d: events not sorted: %v", seed, a)
+			}
+			if e.Op == OpFlip && e.Mask == 0 {
+				t.Fatalf("seed %d: flip with zero mask: %v", seed, a)
+			}
+		}
+	}
+}
+
+func TestScriptCoversAllOps(t *testing.T) {
+	seen := map[Op]bool{}
+	for seed := int64(1); seed <= 200; seed++ {
+		for _, e := range NewScript(seed, 1<<20).Events {
+			seen[e.Op] = true
+		}
+	}
+	for op := Op(0); op < numOps; op++ {
+		if !seen[op] {
+			t.Errorf("200 seeds never produced op %v", op)
+		}
+	}
+}
+
+// readAll drains r until n bytes (or error), recording individual read
+// sizes.
+func readAll(t *testing.T, r io.Reader, n int) ([]byte, []int) {
+	t.Helper()
+	var got []byte
+	var sizes []int
+	buf := make([]byte, 1024)
+	for len(got) < n {
+		k, err := r.Read(buf)
+		if k > 0 {
+			got = append(got, buf[:k]...)
+			sizes = append(sizes, k)
+		}
+		if err != nil {
+			return got, sizes
+		}
+	}
+	return got, sizes
+}
+
+func TestWriteFlipAtOffset(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Script{Events: []Event{{Dir: Write, Off: 3, Op: OpFlip, Mask: 0x04}}})
+	defer c.Close()
+
+	msg := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	want := append([]byte(nil), msg...)
+	want[3] ^= 0x04
+	done := make(chan struct{})
+	var got []byte
+	go func() {
+		defer close(done)
+		got, _ = readAll(t, b, len(msg))
+	}()
+	if n, err := c.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	<-done
+	if !bytes.Equal(got, want) {
+		t.Fatalf("peer received % x, want % x", got, want)
+	}
+	if msg[3] != 3 {
+		t.Fatalf("caller's buffer was mutated: % x", msg)
+	}
+}
+
+func TestReadFlipAtOffset(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Script{Events: []Event{{Dir: Read, Off: 5, Op: OpFlip, Mask: 0x80}}})
+	defer c.Close()
+
+	msg := []byte("deterministic")
+	go b.Write(msg)
+	got, _ := readAll(t, c, len(msg))
+	want := append([]byte(nil), msg...)
+	want[5] ^= 0x80
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read % x, want % x", got, want)
+	}
+}
+
+func TestResetAtOffset(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Script{Events: []Event{{Dir: Write, Off: 5, Op: OpReset}}})
+
+	go io.Copy(io.Discard, b)
+	n, err := c.Write(make([]byte, 10))
+	if n != 5 || !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Write = %d, %v; want 5, ErrInjectedReset", n, err)
+	}
+	// The underlying connection is gone: everything after fails.
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Write err = %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Read err = %v", err)
+	}
+}
+
+func TestChopCapsTransferSizes(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Script{Events: []Event{{Dir: Write, Off: 4, Op: OpChop, Chunk: 3}}})
+	defer c.Close()
+
+	msg := make([]byte, 32)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	done := make(chan struct{})
+	var got []byte
+	var sizes []int
+	go func() {
+		defer close(done)
+		got, sizes = readAll(t, b, len(msg))
+	}()
+	if n, err := c.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	<-done
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("chop corrupted the stream: % x", got)
+	}
+	// After offset 4, no single transfer may exceed the 3-byte cap.
+	off := 0
+	for _, s := range sizes {
+		if off >= 4 && s > 3 {
+			t.Fatalf("transfer of %d bytes at offset %d exceeds chop cap (sizes %v)", s, off, sizes)
+		}
+		off += s
+	}
+	if len(sizes) < 10 {
+		t.Fatalf("expected many small transfers, got %v", sizes)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := Wrap(a, Script{Events: []Event{{Dir: Write, Off: 0, Op: OpDelay, Delay: 30 * time.Millisecond}}})
+	defer c.Close()
+
+	go io.Copy(io.Discard, b)
+	start := time.Now()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned after %v, want ≥ 30ms", d)
+	}
+}

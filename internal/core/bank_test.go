@@ -12,6 +12,7 @@ import (
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc/bank"
 	"deepsecure/internal/ot/precomp"
+	"deepsecure/internal/testutil"
 	"deepsecure/internal/transport"
 )
 
@@ -262,6 +263,7 @@ func (d *failableDuplex) Write(b []byte) (int, error) {
 // discarded — the bank's consume sequence moves past it and a fresh
 // session gets the NEXT execution, never the dead one's material.
 func TestBankMidStreamDeathSingleUse(t *testing.T) {
+	checkLeaks := testutil.VerifyNoLeaks(t)
 	f := fixed.Default
 	net := testNet(t, act.ReLU, 21)
 	x := make([]float64, 6)
@@ -350,4 +352,5 @@ func TestBankMidStreamDeathSingleUse(t *testing.T) {
 	if srvErr != nil {
 		t.Fatalf("server 2: %v", srvErr)
 	}
+	checkLeaks()
 }

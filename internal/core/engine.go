@@ -10,6 +10,7 @@ import (
 	"deepsecure/internal/circuit"
 	"deepsecure/internal/gc"
 	"deepsecure/internal/gc/bank"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/ot/precomp"
 	"deepsecure/internal/sched"
@@ -102,6 +103,14 @@ type EngineConfig struct {
 	// Either way the produced byte streams are identical; only
 	// scheduling changes.
 	PrivatePool bool
+	// Deadlines bounds the protocol's phases (handshake, OT setup,
+	// per-inference) by wall time, complementing the transport-level
+	// idle timeout: the idle timeout catches peers that stop moving
+	// bytes, the phase deadlines catch peers that keep trickling them.
+	// Zero fields disable that phase's deadline. Enforcement needs a
+	// breaker on the session's transport.Conn — the server installs one
+	// per accepted connection; see DeadlineConfig.
+	Deadlines DeadlineConfig
 }
 
 // DefaultPipelineDepth is the in-flight window applied when
@@ -209,9 +218,20 @@ func startTableWriter(conn transport.FrameConn, free chan []byte) *tableWriter {
 		var err error
 		for buf := range w.ch {
 			if err == nil {
-				t0 := time.Now()
-				err = conn.Send(transport.MsgTables, buf)
-				w.elapsed += time.Since(t0)
+				// Contain writer panics into the stream error: the engine
+				// goroutine is blocked on done (or the ch send) and an
+				// escaped panic here would strand it mid-inference.
+				err = func() (err error) {
+					defer func() {
+						if v := recover(); v != nil {
+							err = obs.Panicked("core: table writer", v)
+						}
+					}()
+					t0 := time.Now()
+					err = conn.Send(transport.MsgTables, buf)
+					w.elapsed += time.Since(t0)
+					return err
+				}()
 			}
 			select {
 			case w.free <- buf[:0]:
@@ -700,6 +720,13 @@ func startTableRun(conn transport.FrameConn, async bool, total int, pending []by
 		tr.perr = make(chan error, 1)
 		go func(total int) {
 			defer close(tr.frames)
+			// Contain prefetcher panics: perr must carry exactly one value
+			// or finish would block forever on a goroutine that died.
+			defer func() {
+				if v := recover(); v != nil {
+					tr.perr <- obs.Panicked("core: table prefetcher", v)
+				}
+			}()
 			rem := total
 			for rem > 0 {
 				p, err := tr.conn.Recv(transport.MsgTables)

@@ -141,6 +141,10 @@ type evalCtx struct {
 	start time.Time // admission time, for the per-inference latency histogram
 	inbox chan frame
 	dead  chan struct{}
+	// deadline is this inference's independent watchdog timer (nil when
+	// no per-inference deadline is configured); runCtx stops it when the
+	// context settles.
+	deadline *time.Timer
 }
 
 // samples returns how many inferences this context settles.
@@ -204,8 +208,9 @@ type sessionMux struct {
 	cfg   EngineConfig
 
 	weightBits []bool
-	evalSteps  int  // evaluator-input steps per inference (from the schedule)
-	spec       bool // speculative OT issue/collect is active this session
+	evalSteps  int       // evaluator-input steps per inference (from the schedule)
+	spec       bool      // speculative OT issue/collect is active this session
+	wd         *watchdog // session phase watchdog (nil = no deadlines armed)
 
 	events     chan muxEvent
 	stop       chan struct{}
@@ -371,6 +376,23 @@ func (m *sessionMux) emit(ev muxEvent) {
 // fast instead of hanging.
 func (m *sessionMux) readLoop() {
 	var err error
+	// Contain reader panics: the reader owns the routing channels, and an
+	// escaped panic would kill the process before the deferred closes run,
+	// wedging every context blocked on a routed receive.
+	defer func() {
+		if v := recover(); v != nil {
+			if err == nil {
+				err = obs.Panicked("core: session reader", v)
+			}
+		}
+		// Unblock everything still waiting on routed frames. Only the
+		// reader sends on these channels, so closing here is safe.
+		close(m.mc.otCh)
+		for _, c := range m.ctxs {
+			close(c.inbox)
+		}
+		m.emit(muxEvent{readerDone: true, err: err})
+	}()
 	end := false
 	for !end && err == nil {
 		var typ transport.MsgType
@@ -467,13 +489,6 @@ func (m *sessionMux) readLoop() {
 			err = fmt.Errorf("core: unexpected %v frame on a v5 session", typ)
 		}
 	}
-	// Unblock everything still waiting on routed frames. Only the reader
-	// sends on these channels, so closing here is safe.
-	close(m.mc.otCh)
-	for _, c := range m.ctxs {
-		close(c.inbox)
-	}
-	m.emit(muxEvent{readerDone: true, err: err})
 }
 
 // beginCtx admits a new inference sub-stream (batch = 0 for a single
@@ -484,6 +499,9 @@ func (m *sessionMux) beginCtx(id uint64, batch int) error {
 	}
 	m.beginInFlight()
 	c := &evalCtx{id: id, batch: batch, start: time.Now(), inbox: make(chan frame, 4), dead: make(chan struct{})}
+	if d := m.cfg.Deadlines.Inference; d > 0 && m.wd != nil {
+		c.deadline = m.wd.after("inference", d)
+	}
 	m.pruneCtxs()
 	m.ctxs[id] = c
 	m.spawned++
@@ -598,7 +616,20 @@ func (m *sessionMux) putBuf(b []byte) {
 // runCtx executes one inference's evaluation to completion and reports
 // the outcome to the session's main loop.
 func (m *sessionMux) runCtx(c *evalCtx) {
-	err := m.serveInference(c)
+	err := func() (err error) {
+		// Contain evaluation panics to this inference: the error tears
+		// down this session through the normal event path while every
+		// other session in the process keeps serving.
+		defer func() {
+			if v := recover(); v != nil {
+				err = obs.Panicked(fmt.Sprintf("core: inference %d", c.id), v)
+			}
+		}()
+		return m.serveInference(c)
+	}()
+	if c.deadline != nil {
+		c.deadline.Stop()
+	}
 	m.endInFlight()
 	if err == nil {
 		obs.ObserveInference(time.Since(c.start))
@@ -611,10 +642,18 @@ func (m *sessionMux) runCtx(c *evalCtx) {
 	m.emit(muxEvent{err: err, inferences: c.samples()})
 }
 
+// evalPanicHook, when set by a test, runs at the top of every
+// serveInference call — the seam the panic-containment pin uses to
+// detonate inside one session's evaluation goroutine.
+var evalPanicHook func(id uint64, batch int)
+
 // serveInference is the per-context body: the pipelined analogue of the
 // serial path's serveOne, running the evaluation engine (single or
 // fused-batch) over the context's routed frames.
 func (m *sessionMux) serveInference(c *evalCtx) error {
+	if evalPanicHook != nil {
+		evalPanicHook(c.id, c.batch)
+	}
 	view := &ctxConn{m: m, c: c}
 	constLabels, err := view.Recv(transport.MsgConstLabels)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot"
 	"deepsecure/internal/ot/precomp"
+	"deepsecure/internal/testutil"
 	"deepsecure/internal/transport"
 )
 
@@ -628,6 +629,7 @@ func TestPipelineUnsolicitedOTFrameRejected(t *testing.T) {
 // run() aborts the sequencer eagerly on reader death, inference 2 never
 // wakes, never emits its event, and ServeSession hangs forever.
 func TestPipelineMidOTDisconnectTerminates(t *testing.T) {
+	checkLeaks := testutil.VerifyNoLeaks(t)
 	f := fixed.Default
 	net := testNet(t, act.ReLU, 90)
 	cConn, sConn, closer := transport.Pipe()
@@ -700,4 +702,5 @@ func TestPipelineMidOTDisconnectTerminates(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("ServeSession still blocked 30s after a mid-OT disconnect")
 	}
+	checkLeaks()
 }

@@ -238,10 +238,19 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 		st.Duration = time.Since(start)
 		return st
 	}
+	// Phase watchdog: serial setup phases (handshake, OT setup) are
+	// bracketed by arm/disarm here; the per-inference deadline is handed
+	// to the mux. Enforcement breaks the connection, and wd.wrap rewrites
+	// the resulting I/O error into the DeadlineError that explains it.
+	wd := newWatchdog(conn.Break)
+	defer wd.disarm()
+	fail := func(err error) (*Stats, error) { return finish(), wd.wrap(err) }
+
 	rng := rngOrDefault(s.Rng)
+	wd.arm("handshake", s.Engine.Deadlines.Handshake)
 	hello, err := conn.Recv(transport.MsgHello)
 	if err != nil {
-		return finish(), err
+		return fail(err)
 	}
 	if string(hello) != protocolHello {
 		return finish(), fmt.Errorf("core: unknown protocol %q", hello)
@@ -259,8 +268,9 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	plBuf = transport.AppendTag(plBuf, uint64(s.Engine.pipeline()))
 	plBuf = transport.AppendTag(plBuf, uint64(s.Engine.maxBatch()))
 	if err := conn.Send(transport.MsgPipeline, plBuf); err != nil {
-		return finish(), err
+		return fail(err)
 	}
+	wd.arm("ot-setup", s.Engine.Deadlines.OTSetup)
 	prog, err := s.Program()
 	if err != nil {
 		return finish(), err
@@ -278,7 +288,7 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	baseStart := time.Now()
 	ots, err := ot.NewExtReceiver(mc, rng)
 	if err != nil {
-		return finish(), err
+		return fail(err)
 	}
 	st.OTOfflineTime += time.Since(baseStart)
 
@@ -288,12 +298,14 @@ func (s *Server) ServeSession(conn *transport.Conn) (*Stats, error) {
 	otBase := otp.Stats()
 	defer func() { st.addOT(otDelta(otp.Stats(), otBase)) }()
 	if err := otp.Announce(); err != nil {
-		return finish(), err
+		return fail(err)
 	}
+	wd.disarm()
 
 	m := newSessionMux(s, conn, mc, otp, prog.Schedule, weightBits)
+	m.wd = wd
 	err = m.run(st)
-	return finish(), err
+	return finish(), wd.wrap(err)
 }
 
 // Client runs secure inferences against a server. A Client caches the
@@ -520,8 +532,20 @@ func (v garbleConn) RecvAny(want ...transport.MsgType) (transport.MsgType, []byt
 
 // NewSession opens a session: protocol hello, architecture download,
 // pipeline-window negotiation, netlist compilation (cached per spec),
-// and the OT-extension base phase.
-func (c *Client) NewSession(conn *transport.Conn) (*Session, error) {
+// and the OT-extension base phase. With Engine.Deadlines.Handshake set
+// (and a breaker installed on conn), the whole call is bounded by that
+// deadline: a server that accepts and then stalls — or trickles the
+// setup exchanges forever — surfaces as a DeadlineError instead of a
+// hang, which is what makes re-dial retry policies safe to drive on top.
+func (c *Client) NewSession(conn *transport.Conn) (sess *Session, err error) {
+	if d := c.Engine.Deadlines.Handshake; d > 0 {
+		wd := newWatchdog(conn.Break)
+		wd.arm("handshake", d)
+		defer func() {
+			wd.disarm()
+			err = wd.wrap(err)
+		}()
+	}
 	start := time.Now()
 	sent0, recv0 := conn.BytesSent.Load(), conn.BytesReceived.Load()
 	rng := rngOrDefault(c.Rng)

@@ -8,6 +8,7 @@ import (
 	"deepsecure/internal/act"
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/gc"
+	"deepsecure/internal/testutil"
 	"deepsecure/internal/transport"
 )
 
@@ -146,6 +147,7 @@ func TestSessionDisconnectAtBoundaryIsClean(t *testing.T) {
 	// A client that vanishes between inferences (instead of sending
 	// end-session) must not surface as a server error: the concurrent
 	// server treats boundary EOF as an implicit close.
+	checkLeaks := testutil.VerifyNoLeaks(t)
 	f := fixed.Default
 	net := testNet(t, act.ReLU, 23)
 	cConn, sConn, closer := transport.Pipe()
@@ -177,6 +179,7 @@ func TestSessionDisconnectAtBoundaryIsClean(t *testing.T) {
 	if srvStats.Inferences != 1 {
 		t.Fatalf("server saw %d inferences, want 1", srvStats.Inferences)
 	}
+	checkLeaks()
 }
 
 func TestBrokenSessionRefusesRetry(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"deepsecure/internal/netgen"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot/precomp"
+	"deepsecure/internal/testutil"
 	"deepsecure/internal/transport"
 )
 
@@ -157,6 +158,7 @@ func TestSpeculativeOTBatch(t *testing.T) {
 // just the turn sequencer — or the parked collectors never wake and
 // ServeSession hangs.
 func TestSpeculativeMidOTDisconnectTerminates(t *testing.T) {
+	checkLeaks := testutil.VerifyNoLeaks(t)
 	f := fixed.Default
 	net := testNet(t, act.ReLU, 150)
 	cConn, sConn, closer := transport.Pipe()
@@ -227,4 +229,5 @@ func TestSpeculativeMidOTDisconnectTerminates(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("ServeSession did not terminate after a mid-OT disconnect")
 	}
+	checkLeaks()
 }

@@ -403,9 +403,20 @@ func (b *Bank) maybeRefill() {
 	b.mu.Unlock()
 	go func() {
 		defer b.wg.Done()
-		b.fillMu.Lock()
-		err := b.fillLocked()
-		b.fillMu.Unlock()
+		err := func() (err error) {
+			// A panic mid-fill is contained into fillErr — the bank
+			// degrades to a permanent live-garbling fallback instead of
+			// killing the process — and must not leak fillMu, or every
+			// later fill (and Close) would deadlock on it.
+			defer func() {
+				if v := recover(); v != nil {
+					err = obs.Panicked("bank: background refill", v)
+				}
+			}()
+			b.fillMu.Lock()
+			defer b.fillMu.Unlock()
+			return b.fillLocked()
+		}()
 		b.mu.Lock()
 		b.refilling = false
 		if err != nil && b.fillErr == nil {

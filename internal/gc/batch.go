@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"deepsecure/internal/circuit"
+	"deepsecure/internal/obs"
 	"deepsecure/internal/sched"
 )
 
@@ -175,6 +176,15 @@ func (p *Pool) runScaled(nAND, nFree, scale int, fn func(h *Hasher, andLo, andHi
 		wg.Add(1)
 		go func(i, andLo, andHi, freeLo, freeHi int) {
 			defer wg.Done()
+			// Contain span panics like the shared scheduler does: a
+			// private pool's workers are still session-owned goroutines,
+			// and an escaped panic would kill the whole process instead
+			// of failing this one level run.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = obs.Panicked(fmt.Sprintf("gc: worker %d", i), v)
+				}
+			}()
 			errs[i] = fn(p.hashers[i], andLo, andHi, freeLo, freeHi)
 		}(i, andLo, andHi, freeLo, freeHi)
 	}

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"fmt"
+	"log"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -198,6 +200,9 @@ var (
 	mSessionsShed = Default.Counter(Desc{Name: "deepsecure_sessions_shed_total",
 		Help: "Sessions refused with MsgBusy by the admission controller."})
 
+	mPanics = Default.Counter(Desc{Name: "deepsecure_panics_total",
+		Help: "Panics recovered at session-owned goroutine boundaries and converted into session errors."})
+
 	mGatesAnd = Default.Counter(Desc{Name: "deepsecure_gates_total",
 		Help:   "Gates processed by the crypto cores, by kind.",
 		Labels: []Label{{"kind", "and"}}})
@@ -386,6 +391,24 @@ func IncSessionsShed() {
 	}
 }
 
+// Panicked converts a recovered panic value into a session error and
+// counts it. Every session-owned goroutine boundary (mux reader,
+// evaluation contexts, scheduler chunks, bank/OT refill workers) funnels
+// its recover() through here, so deepsecure_panics_total is the single
+// "a bug fired but the process kept serving" signal. The returned error
+// carries the panic site and value; the goroutine stack goes to stderr
+// via log so the trace survives even when the session error is dropped.
+// Unlike the recording helpers above, Panicked ignores SetEnabled: a
+// contained panic must never be invisible.
+func Panicked(site string, v any) error {
+	mPanics.Inc()
+	log.Printf("obs: recovered panic in %s: %v\n%s", site, v, debug.Stack())
+	return fmt.Errorf("%s: recovered panic: %v", site, v)
+}
+
+// PanicCount returns the number of panics recovered so far, for tests.
+func PanicCount() int64 { return mPanics.Value() }
+
 // InferenceLatencySnapshot returns the current cumulative end-to-end
 // inference latency histogram — the signal the admission controller's
 // windowed p99 guard differences (via HistogramSnapshot.Delta) to see
@@ -431,6 +454,9 @@ func ServingLine(s Snapshot) string {
 	}
 	if q, sh := cv("deepsecure_admission_queue_depth"), cv("deepsecure_sessions_shed_total"); q > 0 || sh > 0 {
 		fmt.Fprintf(&b, " adm_queue=%d shed=%d", q, sh)
+	}
+	if p := cv("deepsecure_panics_total"); p > 0 {
+		fmt.Fprintf(&b, " panics=%d", p)
 	}
 	hits, misses := cv("deepsecure_bank_hits_total"), cv("deepsecure_bank_misses_total")
 	if hits+misses > 0 {

@@ -357,7 +357,15 @@ func (p *ReceiverPool) maybeStartBackground() {
 	p.pending = ch
 	go func() {
 		// Only this goroutine touches the ExtReceiver until the session
-		// goroutine blocks on the channel in resolvePending.
+		// goroutine blocks on the channel in resolvePending. A panic in
+		// the precompute must still deliver a fill on the channel —
+		// otherwise resolvePending blocks forever on a goroutine that no
+		// longer exists — so it is contained into the fill's error.
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- pendingFill{err: obs.Panicked("precomp: background refill", v)}
+			}
+		}()
 		pr := p.ots.Prepare(choices)
 		ch <- pendingFill{n: n, choices: choices, pr: pr}
 	}()

@@ -22,9 +22,12 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"deepsecure/internal/obs"
 )
 
 // region is one submitted parallel run: n chunks claimed by atomic
@@ -39,16 +42,32 @@ type region struct {
 	err error
 }
 
-// exec runs one claimed chunk and records its outcome.
+// exec runs one claimed chunk and records its outcome. A panicking
+// chunk is contained here and recorded as the region's error: chunks
+// run on shared workers serving every session in the process, so a
+// panic that escaped would kill all of them, not just the session whose
+// level run misbehaved. The recover covers the caller-drain path too —
+// Do must return an error, never unwind its caller's stack with another
+// session's panic.
 func (r *region) exec(c int32) {
 	defer r.wg.Done()
-	if err := r.fn(int(c)); err != nil {
-		r.mu.Lock()
-		if r.err == nil {
-			r.err = err
+	defer func() {
+		if v := recover(); v != nil {
+			r.fail(obs.Panicked(fmt.Sprintf("sched: chunk %d", c), v))
 		}
-		r.mu.Unlock()
+	}()
+	if err := r.fn(int(c)); err != nil {
+		r.fail(err)
 	}
+}
+
+// fail records the region's first error.
+func (r *region) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
 }
 
 // drain claims and executes chunks until the region is exhausted.

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -145,5 +146,34 @@ func TestDefaultSingleton(t *testing.T) {
 	}
 	if Default().Workers() < 1 {
 		t.Fatal("default pool has no workers")
+	}
+}
+
+// TestPanickingChunkSurfacesAsError pins the containment boundary: a
+// chunk body that panics — on a shared worker or on the stealing caller
+// — must surface as the region's error, every other chunk must still
+// run (span accounting needs all of them), and the pool must keep
+// serving later regions.
+func TestPanickingChunkSurfacesAsError(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var ran atomic.Int32
+	err := p.Do(16, func(c int) error {
+		ran.Add(1)
+		if c == 7 {
+			panic("chunk detonated")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "recovered panic") ||
+		!strings.Contains(err.Error(), "chunk detonated") {
+		t.Fatalf("err = %v, want a recovered-panic error naming the payload", err)
+	}
+	if ran.Load() != 16 {
+		t.Fatalf("ran %d chunks, want all 16 despite the panic", ran.Load())
+	}
+	// The pool survived: a fresh region on the same pool completes.
+	if err := p.Do(8, func(int) error { return nil }); err != nil {
+		t.Fatalf("pool broken after contained panic: %v", err)
 	}
 }

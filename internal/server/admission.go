@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,10 @@ type AdmissionConfig struct {
 	// RetryAfter is the backoff hint sent inside MsgBusy. 0 defaults
 	// to 1s.
 	RetryAfter time.Duration
+	// ShedTimeout bounds the shed handshake (read the client's hello,
+	// answer MsgBusy): a shed must never pin a goroutine on a slow or
+	// hostile peer. 0 defaults to 2s.
+	ShedTimeout time.Duration
 	// MaxP99, when set, adds a latency guard: if the windowed p99 of
 	// end-to-end inference latency (from the obs Default registry)
 	// exceeds it, new sessions are shed even when slots are free —
@@ -61,6 +66,34 @@ func (c AdmissionConfig) retryAfter() time.Duration {
 		return c.RetryAfter
 	}
 	return time.Second
+}
+
+func (c AdmissionConfig) shedTimeout() time.Duration {
+	if c.ShedTimeout > 0 {
+		return c.ShedTimeout
+	}
+	return 2 * time.Second
+}
+
+// Validate rejects configurations that cannot mean anything: negative
+// limits and negative timeouts. The zero value stays valid (admission
+// disabled, defaults applied).
+func (c AdmissionConfig) Validate() error {
+	switch {
+	case c.MaxActive < 0:
+		return fmt.Errorf("server: negative admission MaxActive %d", c.MaxActive)
+	case c.MaxQueue < 0:
+		return fmt.Errorf("server: negative admission MaxQueue %d", c.MaxQueue)
+	case c.QueueTimeout < 0:
+		return fmt.Errorf("server: negative admission QueueTimeout %v", c.QueueTimeout)
+	case c.RetryAfter < 0:
+		return fmt.Errorf("server: negative admission RetryAfter %v", c.RetryAfter)
+	case c.ShedTimeout < 0:
+		return fmt.Errorf("server: negative admission ShedTimeout %v", c.ShedTimeout)
+	case c.MaxP99 < 0:
+		return fmt.Errorf("server: negative admission MaxP99 %v", c.MaxP99)
+	}
+	return nil
 }
 
 // admissionGuardInterval is how often the p99 guard re-evaluates the

@@ -326,16 +326,12 @@ func (c *idleConn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
-// admissionShedTimeout bounds the shed handshake (read the client's
-// hello, answer MsgBusy): a shed must never pin a goroutine on a slow
-// or hostile peer.
-const admissionShedTimeout = 2 * time.Second
-
 // shed answers an un-admitted connection with MsgBusy. The client's
 // MsgHello is read first: closing a socket with unread inbound data may
-// reset the connection and destroy the in-flight busy frame.
+// reset the connection and destroy the in-flight busy frame. The whole
+// exchange is bounded by AdmissionConfig.ShedTimeout.
 func (s *Server) shed(conn net.Conn) {
-	conn.SetDeadline(time.Now().Add(admissionShedTimeout))
+	conn.SetDeadline(time.Now().Add(s.adm.cfg.shedTimeout()))
 	tc := transport.New(conn)
 	if _, err := tc.Recv(transport.MsgHello); err != nil {
 		return
@@ -350,6 +346,19 @@ func (s *Server) shed(conn net.Conn) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// Last-resort per-connection panic containment: the session layers
+	// below contain panics at every goroutine they own, but a bug on this
+	// goroutine's own path (admission, stats folding, logging) must also
+	// cost one session, not the process. Registered first so it runs
+	// after the cleanup defers below.
+	defer func() {
+		if v := recover(); v != nil {
+			err := obs.Panicked(fmt.Sprintf("server: connection from %s", conn.RemoteAddr()), v)
+			s.errors.Add(1)
+			obs.IncErrors()
+			s.logf("session from %s: %v", conn.RemoteAddr(), err)
+		}
+	}()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -384,6 +393,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	if ic != nil {
 		ic.progress = &tc.Progress
 	}
+	// Phase-deadline enforcement (core's watchdogs) unblocks stalled I/O
+	// by breaking the connection; the watchdog rewrites the resulting
+	// error into the DeadlineError that explains it.
+	tc.SetBreaker(conn.Close)
 	st, err := s.core.ServeSession(tc)
 	if st != nil {
 		s.inferences.Add(st.Inferences)

@@ -15,6 +15,7 @@ import (
 	"deepsecure/internal/fixed"
 	"deepsecure/internal/nn"
 	"deepsecure/internal/ot/precomp"
+	"deepsecure/internal/testutil"
 	"deepsecure/internal/transport"
 )
 
@@ -207,9 +208,12 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestAbruptClientDisconnectIsNotAnError(t *testing.T) {
+	checkLeaks := testutil.VerifyNoLeaks(t)
 	model := testModel(t)
 	srv, addr, stop := startServer(t, model)
-	defer stop()
+	var stopOnce sync.Once
+	stopped := func() { stopOnce.Do(stop) }
+	defer stopped()
 
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -232,6 +236,10 @@ func TestAbruptClientDisconnectIsNotAnError(t *testing.T) {
 	if got := srv.Stats(); got.Errors != 0 || got.Inferences != 1 {
 		t.Errorf("boundary disconnect should not count as error: %+v", got)
 	}
+	// Full server teardown leaves nothing behind: no connection
+	// goroutines, no session readers, no admission bookkeeping.
+	stopped()
+	checkLeaks()
 }
 
 func TestShutdownRefusesNewConnections(t *testing.T) {

@@ -1,0 +1,105 @@
+// Package testutil holds stdlib-only test support shared across the
+// repo's packages — currently the goroutine-leak checker the teardown
+// and chaos tests assert with.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long a check waits for asynchronous teardown
+// (deferred closes, draining readers, timer callbacks) to finish before
+// declaring surviving goroutines leaked.
+const leakGrace = 3 * time.Second
+
+// ignoredStacks are goroutines a leak check never counts, beyond the
+// baseline snapshot: the process-wide shared scheduler's workers live
+// for the process by design (and are lazily created, so the first test
+// to touch sched.Default would otherwise "leak" them), and the testing
+// framework spawns its own runners between snapshot and check.
+var ignoredStacks = []string{
+	"deepsecure/internal/sched.(*Pool).worker",
+	"testing.(*T).Run",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"runtime.gc",
+}
+
+// VerifyNoLeaks snapshots the goroutines alive now and returns the
+// check to run (usually defer) after the test has torn everything down:
+// it fails t if goroutines created since the snapshot are still alive
+// once a grace period for asynchronous teardown has passed. Extra
+// substring patterns mark additional stacks as expected. The diff-based
+// baseline means long-lived goroutines that predate the test (other
+// tests' servers, the shared scheduler) never produce false positives.
+func VerifyNoLeaks(t testing.TB, ignore ...string) func() {
+	t.Helper()
+	base := map[string]bool{}
+	for id := range goroutines() {
+		base[id] = true
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutines() {
+				if base[id] || ignoredStack(stack, ignore) {
+					continue
+				}
+				leaked = append(leaked, stack)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("testutil: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+func ignoredStack(stack string, extra []string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	for _, pat := range extra {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutines returns the current goroutines as id → full stack block,
+// parsed from the runtime's all-goroutine dump. The calling goroutine
+// is included (it is always in the baseline too, so the diff cancels).
+func goroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]string{}
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		// Header shape: "goroutine 123 [running]:".
+		fields := strings.Fields(block)
+		if len(fields) >= 2 && fields[0] == "goroutine" {
+			out[fields[1]] = block
+		}
+	}
+	return out
+}

@@ -159,10 +159,34 @@ type Conn struct {
 	// can tell a compute-busy peer apart from a stalled one even while
 	// the wire is quiet.
 	Progress atomic.Int64
+
+	// breaker, when installed, forcibly fails the connection's pending
+	// and future I/O (see SetBreaker).
+	breaker func() error
 }
 
 // New wraps a byte stream in a framed connection.
 func New(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// SetBreaker installs a hook that forcibly fails the connection's
+// pending and future I/O — typically the underlying net.Conn's Close.
+// Phase-deadline watchdogs above the transport use it to unblock a
+// party stalled mid-phase: a deadline can only be enforced on a blocked
+// read by destroying the thing it blocks on. Install before the
+// connection is shared across goroutines; the hook itself must be safe
+// to call from any goroutine (net.Conn.Close is).
+func (c *Conn) SetBreaker(f func() error) { c.breaker = f }
+
+// Break invokes the installed breaker. Without one it reports an error
+// and breaks nothing — deadlines degrade to unenforced on connections
+// whose owner never wired a breaker (in-memory pipes in tests, callers
+// managing their own timeouts).
+func (c *Conn) Break() error {
+	if c.breaker == nil {
+		return fmt.Errorf("transport: no breaker installed")
+	}
+	return c.breaker()
+}
 
 // Send buffers one frame. Frames accumulate until Flush (or an implicit
 // flush in Recv) so streamed garbled tables batch into large writes.
